@@ -1,0 +1,68 @@
+"""EXP-7 — Optimizer overhead (Sections 6 and 7).
+
+The Volcano-style search is exhaustive on the logical level; adding semantic
+rules enlarges the search space.  This experiment measures optimization time,
+the number of logical plans explored and the number of transformation
+applications as a function of (a) the amount of semantic knowledge and
+(b) the query, showing that the overhead stays small (milliseconds) for the
+paper-sized queries and rule sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import DEFAULT_SIZE, semantic_session
+from repro.bench import format_table
+from repro.workloads import document_workload, motivating_query
+
+RULE_VARIANTS = [
+    ("structural-only", ("semantic",)),
+    ("structural+conditions", ("semantic:expression", "semantic:query-method",
+                               "semantic:implication")),
+    ("full-knowledge", ()),
+]
+
+
+@pytest.mark.parametrize("label,excluded", RULE_VARIANTS,
+                         ids=[label for label, _ in RULE_VARIANTS])
+def test_exp7_overhead_by_rule_count(benchmark, label, excluded):
+    session = semantic_session(DEFAULT_SIZE, exclude_tags=tuple(excluded))
+    query = motivating_query().text
+    translation = session.translate(query)
+
+    result = benchmark(lambda: session.optimizer.optimize(translation.plan))
+
+    statistics = result.statistics
+    print(f"\nEXP-7 {label}: rules={len(session.optimizer.rule_set)} "
+          f"plans={statistics.logical_plans_explored} "
+          f"transformations={statistics.transformations_applied} "
+          f"time={statistics.optimization_seconds * 1000:.1f}ms")
+    assert not statistics.exploration_truncated
+    assert statistics.optimization_seconds < 2.0
+
+
+def test_exp7_overhead_per_query(benchmark):
+    """Optimization statistics for every workload query under full knowledge."""
+    session = semantic_session(DEFAULT_SIZE)
+    rows = []
+    for query in document_workload():
+        translation = session.translate(query.text)
+        result = session.optimizer.optimize(translation.plan)
+        statistics = result.statistics
+        rows.append({
+            "query": query.name,
+            "plans": statistics.logical_plans_explored,
+            "transformations": statistics.transformations_applied,
+            "physical_costed": statistics.physical_plans_costed,
+            "time_ms": round(statistics.optimization_seconds * 1000, 1),
+        })
+
+    benchmark.pedantic(
+        lambda: session.optimizer.optimize(
+            session.translate(motivating_query().text).plan),
+        rounds=3, iterations=1)
+
+    print("\nEXP-7 optimizer overhead per workload query:")
+    print(format_table(rows))
+    assert all(row["plans"] > 0 for row in rows)

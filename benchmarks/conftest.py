@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+Databases are generated once per size and cached for the whole benchmark
+session; each experiment opens the sessions it needs (full knowledge,
+ablated, or structural-only) on top of the cached databases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel.database import Database
+from repro.session import Session
+from repro.workloads import (
+    document_knowledge,
+    generate_document_database,
+)
+
+#: database sizes (number of documents) used by the scaling experiments;
+#: with 4 sections × 5 paragraphs these are 400 / 1600 / 4000 paragraphs
+SCALING_SIZES = (20, 80, 200)
+
+#: default size for single-size experiments
+DEFAULT_SIZE = 80
+
+
+_DATABASE_CACHE: dict[int, Database] = {}
+
+
+def document_database(n_documents: int) -> Database:
+    """A cached synthetic document database with *n_documents* documents."""
+    if n_documents not in _DATABASE_CACHE:
+        _DATABASE_CACHE[n_documents] = generate_document_database(
+            n_documents=n_documents)
+    return _DATABASE_CACHE[n_documents]
+
+
+def semantic_session(n_documents: int, exclude_tags: tuple[str, ...] = ()) -> Session:
+    """A session with the paper's semantic knowledge (optionally ablated)."""
+    database = document_database(n_documents)
+    return Session(database,
+                   knowledge=document_knowledge(database.schema),
+                   exclude_tags=exclude_tags)
+
+
+def structural_session(n_documents: int) -> Session:
+    """A session whose optimizer only has the predefined structural rules."""
+    return semantic_session(n_documents, exclude_tags=("semantic",))
+
+
+@pytest.fixture(scope="session")
+def default_session() -> Session:
+    return semantic_session(DEFAULT_SIZE)
+
+
+@pytest.fixture(scope="session")
+def small_session() -> Session:
+    return semantic_session(SCALING_SIZES[0])

@@ -1,0 +1,67 @@
+"""Bring your own schema — the optimizer generator on a second application.
+
+The paper's point is that the optimizer is *generated* per schema from
+declarative knowledge, not hand-written for one application.  This example
+uses the bundled university schema (departments, students, courses) to show
+the full workflow a downstream user follows:
+
+1. define classes, properties, methods and inverse links,
+2. state the semantic knowledge (a path-method equivalence, inverse links,
+   a precomputed-set implication, a query↔method equivalence),
+3. generate the optimizer and run queries.
+
+Run with:  python examples/custom_schema.py
+"""
+
+from __future__ import annotations
+
+from repro import Session
+from repro.workloads.university import (
+    generate_university_database,
+    university_knowledge,
+)
+
+
+QUERIES = {
+    "department lookup (query<->method equivalence U3)":
+        "ACCESS d FROM d IN Department WHERE d.name == 'Department of Databases 0'",
+    "students of a department by name (path method U1 + inverse links)":
+        "ACCESS s FROM s IN Student "
+        "WHERE s->departmentName() == 'Department of Databases 0'",
+    "honours students (precomputed-set implication U2)":
+        "ACCESS s FROM s IN Student WHERE s.gpa >= 3.5",
+    "students and their course titles (dependent range)":
+        "ACCESS [student: s.name, course: c.title] "
+        "FROM s IN Student, c IN s.courses WHERE c.credits >= 6",
+}
+
+
+def main() -> None:
+    database = generate_university_database(n_departments=6,
+                                            students_per_department=50)
+    knowledge = university_knowledge(database.schema)
+    session = Session(database, knowledge=knowledge)
+    print(f"database: {database}")
+    print(knowledge.describe())
+    print()
+
+    for label, query in QUERIES.items():
+        naive = session.execute_naive(query)
+        optimized = session.execute(query)
+        assert naive.value_set() == optimized.value_set()
+        def work(result) -> str:
+            return (f"cost={result.work['total_cost_units']:7.1f} "
+                    f"method calls={result.work['method_calls']:5.0f} "
+                    f"property reads={result.work['property_reads']:6.0f}")
+
+        print(f"--- {label}")
+        print(f"    {query}")
+        print(f"    rows={len(optimized)}")
+        print(f"    naive     {work(naive)}")
+        print(f"    optimized {work(optimized)}  (plans explored: "
+              f"{optimized.optimization.statistics.logical_plans_explored})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Semantic Query Optimization for Methods in
+Object-Oriented Database Systems" (Aberer & Fischer, ICDE 1995).
+
+The package provides:
+
+* an in-memory object-oriented database substrate (:mod:`repro.datamodel`),
+* the VQL query language front-end (:mod:`repro.vql`),
+* the general and restricted query algebras (:mod:`repro.algebra`),
+* a Volcano-style rule- and cost-based optimizer with schema-specific
+  semantic rules derived from knowledge about methods
+  (:mod:`repro.optimizer`),
+* a physical algebra and executor (:mod:`repro.physical`),
+* ready-made workloads reproducing the paper's example schema
+  (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import open_session
+    from repro.workloads import (
+        generate_document_database, document_knowledge, motivating_query)
+
+    db = generate_document_database(n_documents=100)
+    session = open_session(db, knowledge=document_knowledge(db.schema))
+    result = session.execute(motivating_query().text)
+    print(result.values)
+"""
+
+from repro.engine import open_session, run_query
+from repro.errors import ReproError
+from repro.session import QueryResult, Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "open_session",
+    "run_query",
+    "Session",
+    "QueryResult",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Query algebra: expressions, general operators (Section 4.1), restricted
+operators (Section 6.1), VQL translation and normalization."""
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    ClassExtent,
+    ClassMethodCall,
+    Const,
+    Expression,
+    MethodCall,
+    PatternVar,
+    PropertyAccess,
+    SetConstructor,
+    TupleConstructor,
+    UnaryOp,
+    Var,
+    conjuncts,
+    contains,
+    free_vars,
+    make_conjunction,
+    methods_used,
+    properties_used,
+    rename_vars,
+    replace_subexpression,
+    substitute,
+    walk,
+)
+from repro.algebra.normalize import Normalizer, normalize
+from repro.algebra.operators import (
+    Diff,
+    ExpressionSource,
+    Flat,
+    Get,
+    Join,
+    LogicalOperator,
+    Map,
+    NaturalJoin,
+    Project,
+    Select,
+    Union,
+    operator_size,
+    references_of,
+    walk_operators,
+)
+from repro.algebra.printer import format_inline, format_tree
+from repro.algebra.restricted import (
+    CrossProduct,
+    FlatMethod,
+    FlatProperty,
+    FlatRef,
+    JoinCmp,
+    MapClassMethod,
+    MapConst,
+    MapExtent,
+    MapMethod,
+    MapOperator,
+    MapProperty,
+    SelectCmp,
+    is_restricted_operator,
+)
+from repro.algebra.translate import OUTPUT_REF, TranslationResult, translate_query
+from repro.algebra.visitors import (
+    node_at,
+    positions,
+    replace_at,
+    replace_node,
+    transform_bottom_up,
+    transform_top_down,
+)
+
+__all__ = [
+    # expressions
+    "Expression", "Var", "Const", "PropertyAccess", "MethodCall",
+    "ClassMethodCall", "ClassExtent", "BinaryOp", "UnaryOp",
+    "TupleConstructor", "SetConstructor", "PatternVar",
+    "free_vars", "substitute", "replace_subexpression", "walk", "contains",
+    "conjuncts", "make_conjunction", "rename_vars", "methods_used",
+    "properties_used",
+    # general operators
+    "LogicalOperator", "Get", "Select", "Join", "NaturalJoin", "Union",
+    "Diff", "Map", "Flat", "Project", "ExpressionSource",
+    "walk_operators", "operator_size", "references_of",
+    # restricted operators
+    "SelectCmp", "JoinCmp", "CrossProduct", "MapProperty", "MapMethod",
+    "MapClassMethod", "MapExtent", "MapOperator", "MapConst",
+    "FlatProperty", "FlatMethod", "FlatRef", "is_restricted_operator",
+    # translation / normalization / printing / rewriting
+    "translate_query", "TranslationResult", "OUTPUT_REF",
+    "normalize", "Normalizer",
+    "format_tree", "format_inline",
+    "transform_bottom_up", "transform_top_down", "replace_node",
+    "positions", "node_at", "replace_at",
+]

@@ -1,0 +1,38 @@
+"""Pretty printers for logical algebra operator trees.
+
+Two formats are provided:
+
+* :func:`format_tree` — an indented multi-line rendering used by
+  ``Session.explain`` and the optimization-trace demonstrator;
+* :func:`format_inline` — a compact single-line rendering following the
+  paper's notation (``select<cond>(get<p, Paragraph>)``), used in rule traces
+  and test assertions.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import LogicalOperator
+
+__all__ = ["format_tree", "format_inline"]
+
+
+def format_tree(operator: LogicalOperator, indent: str = "  ") -> str:
+    """Indented multi-line rendering of an operator tree."""
+    lines: list[str] = []
+
+    def visit(node: LogicalOperator, depth: int) -> None:
+        lines.append(indent * depth + node.describe())
+        for child in node.inputs():
+            visit(child, depth + 1)
+
+    visit(operator, 0)
+    return "\n".join(lines)
+
+
+def format_inline(operator: LogicalOperator) -> str:
+    """Compact single-line rendering in the paper's notation."""
+    children = operator.inputs()
+    if not children:
+        return operator.describe()
+    inner = ", ".join(format_inline(child) for child in children)
+    return f"{operator.describe()}({inner})"

@@ -1,0 +1,93 @@
+"""Generic tree-rewriting helpers for logical algebra operators.
+
+The optimizer applies rules at arbitrary positions inside an operator tree;
+these helpers centralize the bottom-up/top-down rewriting plumbing so rule
+code deals only with local patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.algebra.operators import LogicalOperator
+
+__all__ = [
+    "transform_bottom_up",
+    "transform_top_down",
+    "replace_node",
+    "positions",
+    "node_at",
+    "replace_at",
+]
+
+Rewriter = Callable[[LogicalOperator], Optional[LogicalOperator]]
+
+
+def transform_bottom_up(operator: LogicalOperator,
+                        rewrite: Rewriter) -> LogicalOperator:
+    """Apply *rewrite* to every node, children first.
+
+    *rewrite* returns a replacement node or ``None`` to keep the node.
+    """
+    children = operator.inputs()
+    if children:
+        new_children = [transform_bottom_up(child, rewrite) for child in children]
+        if any(new is not old for new, old in zip(new_children, children)):
+            operator = operator.with_inputs(new_children)
+    replacement = rewrite(operator)
+    return operator if replacement is None else replacement
+
+
+def transform_top_down(operator: LogicalOperator,
+                       rewrite: Rewriter) -> LogicalOperator:
+    """Apply *rewrite* to every node, parents first."""
+    replacement = rewrite(operator)
+    if replacement is not None:
+        operator = replacement
+    children = operator.inputs()
+    if not children:
+        return operator
+    new_children = [transform_top_down(child, rewrite) for child in children]
+    if any(new is not old for new, old in zip(new_children, children)):
+        operator = operator.with_inputs(new_children)
+    return operator
+
+
+def replace_node(root: LogicalOperator, old: LogicalOperator,
+                 new: LogicalOperator) -> LogicalOperator:
+    """Replace every structural occurrence of *old* below *root* by *new*."""
+
+    def rewrite(node: LogicalOperator) -> Optional[LogicalOperator]:
+        return new if node == old else None
+
+    return transform_bottom_up(root, rewrite)
+
+
+def positions(root: LogicalOperator) -> Iterator[tuple[int, ...]]:
+    """Yield the tree position (path of child indexes) of every node."""
+
+    def visit(node: LogicalOperator, path: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        yield path
+        for index, child in enumerate(node.inputs()):
+            yield from visit(child, path + (index,))
+
+    return visit(root, ())
+
+
+def node_at(root: LogicalOperator, path: tuple[int, ...]) -> LogicalOperator:
+    """The node at tree position *path* (as produced by :func:`positions`)."""
+    node = root
+    for index in path:
+        node = node.inputs()[index]
+    return node
+
+
+def replace_at(root: LogicalOperator, path: tuple[int, ...],
+               new: LogicalOperator) -> LogicalOperator:
+    """Return a copy of *root* with the node at *path* replaced by *new*."""
+    if not path:
+        return new
+    index = path[0]
+    children = list(root.inputs())
+    children[index] = replace_at(children[index], path[1:], new)
+    return root.with_inputs(children)

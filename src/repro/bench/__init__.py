@@ -1,0 +1,17 @@
+"""Benchmark support: measurement helpers shared by the ``benchmarks/`` tree."""
+
+from repro.bench.harness import (
+    Measurement,
+    comparison_table,
+    format_table,
+    measure_query,
+    speedup,
+)
+
+__all__ = [
+    "Measurement",
+    "measure_query",
+    "comparison_table",
+    "format_table",
+    "speedup",
+]

@@ -1,0 +1,118 @@
+"""Shared measurement helpers for the benchmark suite.
+
+Benchmarks report two kinds of numbers:
+
+* wall-clock timings, collected by pytest-benchmark;
+* *logical work* — deterministic counters from the database layer (method
+  calls, external calls, property reads, abstract cost units) that make the
+  plan comparison independent of the Python interpreter's speed.
+
+The helpers here execute a query under a session, capture the work
+difference, and format small report tables so the benchmarks print the
+series that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.session import QueryResult, Session
+
+__all__ = ["Measurement", "measure_query", "comparison_table", "format_table",
+           "speedup"]
+
+
+@dataclass
+class Measurement:
+    """Execution measurements of one query under one plan."""
+
+    label: str
+    rows: int
+    seconds: float
+    work: dict[str, float] = field(default_factory=dict)
+    plans_explored: int = 0
+    optimization_seconds: float = 0.0
+
+    @property
+    def cost_units(self) -> float:
+        return self.work.get("total_cost_units", 0.0)
+
+    @property
+    def external_calls(self) -> float:
+        return self.work.get("external_method_calls", 0.0)
+
+    @property
+    def method_calls(self) -> float:
+        return self.work.get("method_calls", 0.0)
+
+    @property
+    def property_reads(self) -> float:
+        return self.work.get("property_reads", 0.0)
+
+    def as_row(self) -> dict[str, float | str]:
+        return {
+            "label": self.label,
+            "rows": self.rows,
+            "seconds": round(self.seconds, 4),
+            "cost_units": round(self.cost_units, 1),
+            "method_calls": int(self.method_calls),
+            "external_calls": int(self.external_calls),
+            "property_reads": int(self.property_reads),
+        }
+
+
+def measure_query(session: Session, query: str, label: str,
+                  optimize: bool = True) -> Measurement:
+    """Execute *query* once and capture wall time plus work counters."""
+    session.database.reset_statistics()
+    started = time.perf_counter()
+    result: QueryResult = session.execute(query, optimize=optimize)
+    elapsed = time.perf_counter() - started
+    measurement = Measurement(
+        label=label,
+        rows=len(result),
+        seconds=elapsed,
+        work=dict(result.work))
+    if result.optimization is not None:
+        measurement.plans_explored = (
+            result.optimization.statistics.logical_plans_explored)
+        measurement.optimization_seconds = (
+            result.optimization.statistics.optimization_seconds)
+    return measurement
+
+
+def speedup(baseline: Measurement, optimized: Measurement,
+            metric: str = "cost_units") -> float:
+    """Ratio baseline/optimized for the given metric (∞-safe)."""
+    base = getattr(baseline, metric)
+    best = getattr(optimized, metric)
+    if best <= 0:
+        return float("inf") if base > 0 else 1.0
+    return base / best
+
+
+def comparison_table(measurements: Sequence[Measurement]) -> str:
+    """Format measurements as an aligned text table."""
+    rows = [m.as_row() for m in measurements]
+    return format_table(rows)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Minimal fixed-width table formatter (no third-party dependency)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: max(len(str(col)),
+                       max(len(str(row.get(col, ""))) for row in rows))
+              for col in columns}
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col])
+                               for col in columns))
+    return "\n".join(lines)

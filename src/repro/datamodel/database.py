@@ -1,0 +1,300 @@
+"""The in-memory object database.
+
+:class:`Database` is the substrate standing in for VODAK: it stores objects,
+maintains class extensions, dispatches methods (internal and external),
+maintains user-defined indexes and text indexes, and counts the work it
+performs so that query plans can be compared quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Optional
+
+from repro.datamodel.indexes import HashIndex, IndexRegistry, SortedIndex
+from repro.datamodel.ir import InvertedTextIndex
+from repro.datamodel.objects import DatabaseObject
+from repro.datamodel.oid import OID, OIDAllocator
+from repro.datamodel.schema import MethodDef, MethodKind, Schema
+from repro.datamodel.statistics import DatabaseStatistics
+from repro.errors import (
+    MethodInvocationError,
+    ObjectNotFoundError,
+    SchemaError,
+    TypeMismatchError,
+)
+
+__all__ = ["Database", "InvocationContext"]
+
+
+class InvocationContext:
+    """The view of the database handed to method implementations.
+
+    It exposes exactly what a VML method body may use: property access on any
+    object, invocation of other methods, class extensions, and the external
+    engines (indexes, text indexes) registered with the database.
+    """
+
+    def __init__(self, database: "Database"):
+        self.database = database
+
+    def value(self, oid: OID, prop: str) -> Any:
+        return self.database.value(oid, prop)
+
+    def invoke(self, oid: OID, method: str, *args: Any) -> Any:
+        return self.database.invoke(oid, method, *args)
+
+    def invoke_class_method(self, class_name: str, method: str, *args: Any) -> Any:
+        return self.database.invoke_class_method(class_name, method, *args)
+
+    def extension(self, class_name: str) -> list[OID]:
+        return self.database.extension(class_name)
+
+    def index(self, class_name: str, prop: str) -> Optional[HashIndex | SortedIndex]:
+        return self.database.indexes.get(class_name, prop)
+
+    def text_index(self, class_name: str, prop: str) -> Optional[InvertedTextIndex]:
+        return self.database.text_index(class_name, prop)
+
+
+class Database:
+    """In-memory OODB: objects + extensions + method dispatch + indexes."""
+
+    def __init__(self, schema: Schema, name: str = "database"):
+        schema.validate()
+        self.schema = schema
+        self.name = name
+        self._objects: dict[OID, DatabaseObject] = {}
+        self._extensions: dict[str, list[OID]] = defaultdict(list)
+        self._allocator = OIDAllocator()
+        self.indexes = IndexRegistry()
+        self._text_indexes: dict[tuple[str, str], InvertedTextIndex] = {}
+        self.statistics = DatabaseStatistics()
+        self._context = InvocationContext(self)
+
+    # ------------------------------------------------------------------
+    # object lifecycle
+    # ------------------------------------------------------------------
+    def create(self, class_name: str, **values: Any) -> OID:
+        """Create an instance of *class_name* with the given property values.
+
+        Values are validated against the declared property types; reference
+        properties accept OIDs or sets of OIDs.  Indexes and text indexes on
+        the class are maintained eagerly.
+        """
+        class_def = self.schema.get_class(class_name)
+        unknown = [prop for prop in values if not self.schema.has_property(class_name, prop)]
+        if unknown:
+            raise SchemaError(
+                f"class {class_name!r} has no propert{'y' if len(unknown) == 1 else 'ies'} "
+                f"{', '.join(repr(p) for p in unknown)}")
+        for prop_name, value in values.items():
+            prop_def = self.schema.resolve_property(class_name, prop_name)
+            if value is not None and not prop_def.vml_type.validate(value):
+                raise TypeMismatchError(
+                    f"value {value!r} for {class_name}.{prop_name} does not "
+                    f"conform to {prop_def.vml_type}")
+        oid = self._allocator.allocate(class_name)
+        obj = DatabaseObject(oid=oid, values=dict(values))
+        self._objects[oid] = obj
+        self._extensions[class_name].append(oid)
+        self.statistics.record_object_created()
+        self._index_new_object(class_name, oid, values)
+        del class_def  # looked up only for existence checking
+        return oid
+
+    def _index_new_object(self, class_name: str, oid: OID,
+                          values: dict[str, Any]) -> None:
+        for prop_name, value in values.items():
+            self.indexes.notify_insert(class_name, prop_name, value, oid)
+            engine = self._text_indexes.get((class_name, prop_name))
+            if engine is not None and value is not None:
+                engine.index_text(oid, str(value))
+
+    def get(self, oid: OID) -> DatabaseObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object with OID {oid}") from None
+
+    def exists(self, oid: OID) -> bool:
+        return oid in self._objects
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # property access
+    # ------------------------------------------------------------------
+    def value(self, oid: OID, prop: str) -> Any:
+        """Read a property value (the system-provided default read method)."""
+        obj = self.get(oid)
+        self.statistics.record_property_read()
+        if not self.schema.has_property(obj.class_name, prop):
+            raise SchemaError(
+                f"class {obj.class_name!r} has no property {prop!r}")
+        return obj.get_or_none(prop)
+
+    def set_value(self, oid: OID, prop: str, value: Any) -> None:
+        """Write a property value, keeping indexes consistent."""
+        obj = self.get(oid)
+        prop_def = self.schema.resolve_property(obj.class_name, prop)
+        if value is not None and not prop_def.vml_type.validate(value):
+            raise TypeMismatchError(
+                f"value {value!r} for {obj.class_name}.{prop} does not "
+                f"conform to {prop_def.vml_type}")
+        old = obj.get_or_none(prop)
+        obj.set(prop, value)
+        self.statistics.record_property_write()
+        index = self.indexes.get(obj.class_name, prop)
+        if index is not None:
+            if obj.has(prop) and old is not None:
+                index.update(old, value, oid)
+            else:
+                index.insert(value, oid)
+        engine = self._text_indexes.get((obj.class_name, prop))
+        if engine is not None:
+            engine.index_text(oid, str(value))
+
+    # ------------------------------------------------------------------
+    # extensions
+    # ------------------------------------------------------------------
+    def extension(self, class_name: str, deep: bool = True) -> list[OID]:
+        """All OIDs of instances of *class_name* (including subclasses when
+        *deep*), in creation order."""
+        if not self.schema.has_class(class_name):
+            raise SchemaError(f"unknown class {class_name!r}")
+        self.statistics.record_extension_scan()
+        result = list(self._extensions.get(class_name, ()))
+        if deep:
+            for other, class_def in self.schema.classes.items():
+                if other != class_name and self._inherits_from(other, class_name):
+                    result.extend(self._extensions.get(other, ()))
+        return result
+
+    def _inherits_from(self, class_name: str, ancestor: str) -> bool:
+        current: Optional[str] = class_name
+        while current is not None:
+            class_def = self.schema.get_class(current)
+            if class_def.superclass == ancestor:
+                return True
+            current = class_def.superclass
+        return False
+
+    def extension_size(self, class_name: str) -> int:
+        """Cardinality of the extension without charging a scan (cost model)."""
+        size = len(self._extensions.get(class_name, ()))
+        for other in self.schema.class_names():
+            if other != class_name and self._inherits_from(other, class_name):
+                size += len(self._extensions.get(other, ()))
+        return size
+
+    # ------------------------------------------------------------------
+    # method dispatch
+    # ------------------------------------------------------------------
+    def invoke(self, receiver: OID, method_name: str, *args: Any) -> Any:
+        """Invoke an instance method on *receiver*."""
+        obj = self.get(receiver)
+        method = self.schema.resolve_instance_method(obj.class_name, method_name)
+        return self._dispatch(method, obj.class_name, receiver, args)
+
+    def invoke_class_method(self, class_name: str, method_name: str,
+                            *args: Any) -> Any:
+        """Invoke a class-level (OWNTYPE) method on the class object."""
+        method = self.schema.resolve_class_method(class_name, method_name)
+        return self._dispatch(method, class_name, class_name, args)
+
+    def _dispatch(self, method: MethodDef, class_name: str,
+                  receiver: Any, args: tuple[Any, ...]) -> Any:
+        if method.implementation is None:
+            raise MethodInvocationError(
+                f"method {class_name}.{method.name} has no implementation")
+        if len(args) != method.arity:
+            raise MethodInvocationError(
+                f"method {class_name}.{method.name} expects {method.arity} "
+                f"argument(s), got {len(args)}")
+        self.statistics.record_method_call(
+            class_name, method.name,
+            external=method.is_external(),
+            class_level=method.class_level,
+            cost=method.cost_per_call)
+        try:
+            return method.implementation(self._context, receiver, *args)
+        except (ObjectNotFoundError, SchemaError, MethodInvocationError):
+            raise
+        except Exception as exc:  # surface implementation bugs with context
+            raise MethodInvocationError(
+                f"method {class_name}.{method.name} failed: {exc}") from exc
+
+    def method_def(self, class_name: str, method_name: str,
+                   class_level: bool = False) -> MethodDef:
+        if class_level:
+            return self.schema.resolve_class_method(class_name, method_name)
+        return self.schema.resolve_instance_method(class_name, method_name)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_hash_index(self, class_name: str, prop: str) -> HashIndex:
+        """Create an exact-match index and backfill it from existing objects."""
+        index = self.indexes.create_hash_index(class_name, prop)
+        for oid in self.extension(class_name):
+            index.insert(self.get(oid).get_or_none(prop), oid)
+        return index
+
+    def create_sorted_index(self, class_name: str, prop: str) -> SortedIndex:
+        """Create an ordered index and backfill it from existing objects."""
+        index = self.indexes.create_sorted_index(class_name, prop)
+        for oid in self.extension(class_name):
+            index.insert(self.get(oid).get_or_none(prop), oid)
+        return index
+
+    def create_text_index(self, class_name: str, prop: str) -> InvertedTextIndex:
+        """Create an IR index over a STRING property and backfill it."""
+        key = (class_name, prop)
+        if key in self._text_indexes:
+            raise SchemaError(f"text index on {class_name}.{prop} already exists")
+        engine = InvertedTextIndex()
+        self._text_indexes[key] = engine
+        for oid in self.extension(class_name):
+            content = self.get(oid).get_or_none(prop)
+            if content is not None:
+                engine.index_text(oid, str(content))
+        return engine
+
+    def text_index(self, class_name: str, prop: str) -> Optional[InvertedTextIndex]:
+        return self._text_indexes.get((class_name, prop))
+
+    def text_indexes(self) -> Iterable[tuple[tuple[str, str], InvertedTextIndex]]:
+        return list(self._text_indexes.items())
+
+    # ------------------------------------------------------------------
+    # statistics helpers
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Reset all work counters (database plus external engines)."""
+        self.statistics.reset()
+        for engine in self._text_indexes.values():
+            engine.reset_counters()
+
+    def work_snapshot(self) -> dict[str, float]:
+        """Combined snapshot of database and external-engine counters."""
+        snapshot = dict(self.statistics.snapshot())
+        ir_cost = 0.0
+        ir_calls = 0
+        for engine in self._text_indexes.values():
+            counters = engine.counters()
+            ir_cost += counters["cost_units"]
+            ir_calls += counters["contains_calls"] + counters["retrieve_calls"]
+        snapshot["ir_cost_units"] = ir_cost
+        snapshot["ir_calls"] = ir_calls
+        snapshot["total_cost_units"] = snapshot["method_cost_units"] + ir_cost
+        return snapshot
+
+    @property
+    def context(self) -> InvocationContext:
+        return self._context
+
+    def __str__(self) -> str:
+        return (f"Database({self.name!r}, {self.object_count()} objects, "
+                f"{len(self.schema.classes)} classes)")

@@ -1,0 +1,211 @@
+"""User-defined indexes.
+
+The paper's ``Document→select_by_index(t)`` method encapsulates a lookup in a
+user-defined index on ``Document.title``.  This module provides the index
+structures those external methods are implemented with:
+
+* :class:`HashIndex` — exact-match index on one property,
+* :class:`SortedIndex` — ordered index supporting range queries (used by the
+  ``wordCount``/``largeParagraphs`` implication experiment),
+* :class:`IndexRegistry` — per-database registry keyed by (class, property).
+
+Indexes are maintained eagerly by the database on object creation and on
+property updates.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.datamodel.oid import OID
+from repro.errors import IndexError_
+
+__all__ = ["HashIndex", "SortedIndex", "IndexRegistry"]
+
+
+class HashIndex:
+    """Exact-match index mapping a property value to the set of OIDs."""
+
+    kind = "hash"
+
+    def __init__(self, class_name: str, property_name: str):
+        self.class_name = class_name
+        self.property_name = property_name
+        self._entries: dict[Any, set[OID]] = defaultdict(set)
+        self.lookup_count = 0
+
+    # -- maintenance ----------------------------------------------------
+    def insert(self, key: Any, oid: OID) -> None:
+        self._entries[self._normalize(key)].add(oid)
+
+    def remove(self, key: Any, oid: OID) -> None:
+        normalized = self._normalize(key)
+        bucket = self._entries.get(normalized)
+        if not bucket or oid not in bucket:
+            raise IndexError_(
+                f"cannot remove {oid} from index "
+                f"{self.class_name}.{self.property_name}: entry missing")
+        bucket.discard(oid)
+        if not bucket:
+            del self._entries[normalized]
+
+    def update(self, old_key: Any, new_key: Any, oid: OID) -> None:
+        self.remove(old_key, oid)
+        self.insert(new_key, oid)
+
+    # -- queries --------------------------------------------------------
+    def lookup(self, key: Any) -> set[OID]:
+        """Return the OIDs whose indexed property equals *key*."""
+        self.lookup_count += 1
+        return set(self._entries.get(self._normalize(key), set()))
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._entries.keys())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+    def distinct_keys(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _normalize(key: Any) -> Any:
+        # Lists/sets cannot be dictionary keys; index them by frozen copies.
+        if isinstance(key, list):
+            return tuple(key)
+        if isinstance(key, set):
+            return frozenset(key)
+        return key
+
+    def __str__(self) -> str:
+        return f"HashIndex({self.class_name}.{self.property_name}, {len(self)} entries)"
+
+
+class SortedIndex:
+    """Ordered index supporting equality and range lookups.
+
+    Implemented as a sorted list of ``(key, OID)`` pairs; sufficient for the
+    moderate database sizes the benchmarks use while keeping the lookup
+    pattern (logarithmic positioning + contiguous scan) realistic.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, class_name: str, property_name: str):
+        self.class_name = class_name
+        self.property_name = property_name
+        self._keys: list[Any] = []
+        self._oids: list[OID] = []
+        self.lookup_count = 0
+
+    # -- maintenance ----------------------------------------------------
+    def insert(self, key: Any, oid: OID) -> None:
+        position = bisect.bisect_left(self._keys, key)
+        # Skip forward over equal keys to keep insertion stable.
+        while position < len(self._keys) and self._keys[position] == key and \
+                self._oids[position] < oid:
+            position += 1
+        self._keys.insert(position, key)
+        self._oids.insert(position, oid)
+
+    def remove(self, key: Any, oid: OID) -> None:
+        position = bisect.bisect_left(self._keys, key)
+        while position < len(self._keys) and self._keys[position] == key:
+            if self._oids[position] == oid:
+                del self._keys[position]
+                del self._oids[position]
+                return
+            position += 1
+        raise IndexError_(
+            f"cannot remove {oid} from index "
+            f"{self.class_name}.{self.property_name}: entry missing")
+
+    def update(self, old_key: Any, new_key: Any, oid: OID) -> None:
+        self.remove(old_key, oid)
+        self.insert(new_key, oid)
+
+    # -- queries --------------------------------------------------------
+    def lookup(self, key: Any) -> set[OID]:
+        self.lookup_count += 1
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return set(self._oids[lo:hi])
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> set[OID]:
+        """Return OIDs whose key falls into ``[low, high]`` (open-ended when
+        a bound is ``None``)."""
+        self.lookup_count += 1
+        if low is None:
+            lo = 0
+        else:
+            lo = (bisect.bisect_left(self._keys, low) if include_low
+                  else bisect.bisect_right(self._keys, low))
+        if high is None:
+            hi = len(self._keys)
+        else:
+            hi = (bisect.bisect_right(self._keys, high) if include_high
+                  else bisect.bisect_left(self._keys, high))
+        return set(self._oids[lo:hi])
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def min_key(self) -> Optional[Any]:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Optional[Any]:
+        return self._keys[-1] if self._keys else None
+
+    def __str__(self) -> str:
+        return f"SortedIndex({self.class_name}.{self.property_name}, {len(self)} entries)"
+
+
+class IndexRegistry:
+    """All indexes of one database, keyed by ``(class_name, property_name)``."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, str], HashIndex | SortedIndex] = {}
+
+    def create_hash_index(self, class_name: str, property_name: str) -> HashIndex:
+        return self._register(HashIndex(class_name, property_name))
+
+    def create_sorted_index(self, class_name: str, property_name: str) -> SortedIndex:
+        return self._register(SortedIndex(class_name, property_name))
+
+    def _register(self, index: HashIndex | SortedIndex) -> Any:
+        key = (index.class_name, index.property_name)
+        if key in self._indexes:
+            raise IndexError_(f"index on {key[0]}.{key[1]} already exists")
+        self._indexes[key] = index
+        return index
+
+    def get(self, class_name: str, property_name: str) -> Optional[HashIndex | SortedIndex]:
+        return self._indexes.get((class_name, property_name))
+
+    def has(self, class_name: str, property_name: str) -> bool:
+        return (class_name, property_name) in self._indexes
+
+    def for_class(self, class_name: str) -> list[HashIndex | SortedIndex]:
+        return [index for (cls, _), index in self._indexes.items()
+                if cls == class_name]
+
+    def all(self) -> Iterable[HashIndex | SortedIndex]:
+        return list(self._indexes.values())
+
+    def notify_insert(self, class_name: str, property_name: str,
+                      key: Any, oid: OID) -> None:
+        index = self.get(class_name, property_name)
+        if index is not None:
+            index.insert(key, oid)
+
+    def notify_update(self, class_name: str, property_name: str,
+                      old_key: Any, new_key: Any, oid: OID) -> None:
+        index = self.get(class_name, property_name)
+        if index is not None:
+            index.update(old_key, new_key, oid)
+
+    def __len__(self) -> int:
+        return len(self._indexes)

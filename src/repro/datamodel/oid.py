@@ -1,0 +1,58 @@
+"""Object identifiers.
+
+Every object stored in the database is identified by an :class:`OID`, a pair
+of the class name the object was created in and a monotonically increasing
+serial number allocated by the database.  OIDs are immutable, hashable and
+totally ordered so they can be used in sets, as dictionary/index keys, and
+sorted for deterministic output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """Immutable object identifier ``class_name:serial``."""
+
+    class_name: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.class_name}:{self.serial}"
+
+    def __repr__(self) -> str:
+        return f"OID({self.class_name!r}, {self.serial})"
+
+
+class OIDAllocator:
+    """Allocates serial numbers per class.
+
+    The allocator is deterministic: serials start at 1 per class and increase
+    by one for every created object, which keeps generated databases and
+    therefore test expectations and benchmark workloads reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    def allocate(self, class_name: str) -> OID:
+        """Return a fresh OID for *class_name*."""
+        serial = self._counters.get(class_name, 0) + 1
+        self._counters[class_name] = serial
+        return OID(class_name, serial)
+
+    def allocate_many(self, class_name: str, count: int) -> Iterator[OID]:
+        """Yield *count* fresh OIDs for *class_name*."""
+        for _ in range(count):
+            yield self.allocate(class_name)
+
+    def last_serial(self, class_name: str) -> int:
+        """The most recently allocated serial for *class_name* (0 if none)."""
+        return self._counters.get(class_name, 0)
+
+    def reset(self) -> None:
+        """Forget all allocations (used when a database is cleared)."""
+        self._counters.clear()

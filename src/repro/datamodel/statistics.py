@@ -1,0 +1,99 @@
+"""Work counters for the database layer.
+
+Benchmark comparisons between plans are reported both in wall-clock time and
+in *logical work*: number of property reads, method invocations (split into
+internal and external), index lookups, and abstract cost units charged by
+external engines.  Logical work is deterministic and therefore the primary
+quantity checked by tests; wall-clock time is reported by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass
+class DatabaseStatistics:
+    """Mutable counters describing the work performed by a database."""
+
+    property_reads: int = 0
+    property_writes: int = 0
+    objects_created: int = 0
+    method_calls: Counter = field(default_factory=Counter)
+    external_method_calls: Counter = field(default_factory=Counter)
+    class_method_calls: Counter = field(default_factory=Counter)
+    index_lookups: int = 0
+    extension_scans: int = 0
+    method_cost_units: float = 0.0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_property_read(self) -> None:
+        self.property_reads += 1
+
+    def record_property_write(self) -> None:
+        self.property_writes += 1
+
+    def record_object_created(self) -> None:
+        self.objects_created += 1
+
+    def record_method_call(self, class_name: str, method_name: str,
+                           external: bool, class_level: bool,
+                           cost: float) -> None:
+        key = f"{class_name}.{method_name}"
+        self.method_calls[key] += 1
+        if external:
+            self.external_method_calls[key] += 1
+        if class_level:
+            self.class_method_calls[key] += 1
+        self.method_cost_units += cost
+
+    def record_index_lookup(self) -> None:
+        self.index_lookups += 1
+
+    def record_extension_scan(self) -> None:
+        self.extension_scans += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def total_method_calls(self) -> int:
+        return sum(self.method_calls.values())
+
+    def total_external_calls(self) -> int:
+        return sum(self.external_method_calls.values())
+
+    def calls_of(self, class_name: str, method_name: str) -> int:
+        return self.method_calls.get(f"{class_name}.{method_name}", 0)
+
+    def snapshot(self) -> Mapping[str, float]:
+        """A flat, copyable view used by the benchmark harness."""
+        return {
+            "property_reads": self.property_reads,
+            "property_writes": self.property_writes,
+            "objects_created": self.objects_created,
+            "method_calls": self.total_method_calls(),
+            "external_method_calls": self.total_external_calls(),
+            "index_lookups": self.index_lookups,
+            "extension_scans": self.extension_scans,
+            "method_cost_units": self.method_cost_units,
+        }
+
+    def reset(self) -> None:
+        self.property_reads = 0
+        self.property_writes = 0
+        self.objects_created = 0
+        self.method_calls.clear()
+        self.external_method_calls.clear()
+        self.class_method_calls.clear()
+        self.index_lookups = 0
+        self.extension_scans = 0
+        self.method_cost_units = 0.0
+
+    def diff(self, earlier: Mapping[str, float]) -> dict[str, float]:
+        """Difference between the current snapshot and an *earlier* one."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}

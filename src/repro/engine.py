@@ -1,0 +1,39 @@
+"""Top-level convenience functions.
+
+These helpers wrap the most common workflow — open a session on a database
+with its semantic knowledge and run queries — so that the quickstart example
+fits on one screen.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datamodel.database import Database
+from repro.optimizer.knowledge import SchemaKnowledge
+from repro.optimizer.search import OptimizerOptions
+from repro.session import QueryResult, Session
+
+__all__ = ["open_session", "run_query"]
+
+
+def open_session(database: Database,
+                 knowledge: Optional[SchemaKnowledge] = None,
+                 options: Optional[OptimizerOptions] = None,
+                 exclude_tags: Sequence[str] = ()) -> Session:
+    """Open a query session on *database*.
+
+    ``knowledge`` carries the schema-specific semantic knowledge about
+    methods; without it the generated optimizer only has the predefined
+    structural rules.
+    """
+    return Session(database, knowledge=knowledge, options=options,
+                   exclude_tags=exclude_tags)
+
+
+def run_query(database: Database, query: str,
+              knowledge: Optional[SchemaKnowledge] = None,
+              optimize: bool = True) -> QueryResult:
+    """One-shot helper: open a session and execute *query*."""
+    session = open_session(database, knowledge=knowledge)
+    return session.execute(query, optimize=optimize)

@@ -1,0 +1,91 @@
+"""Exception hierarchy shared by all subsystems of the reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can distinguish library failures from programming errors in their own
+code with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema definition is inconsistent or incomplete.
+
+    Examples: duplicate class names, a property referring to an undefined
+    class, or a method registered for a class that does not exist.
+    """
+
+
+class TypeMismatchError(ReproError):
+    """Raised when a value does not conform to its declared VML type."""
+
+
+class ObjectNotFoundError(ReproError):
+    """Raised when an OID does not resolve to a stored object."""
+
+
+class MethodResolutionError(ReproError):
+    """Raised when a method cannot be resolved for a receiver class."""
+
+
+class MethodInvocationError(ReproError):
+    """Raised when a resolved method fails during invocation."""
+
+
+class IndexError_(ReproError):
+    """Raised for index-maintenance problems (named with a trailing
+    underscore to avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class VQLSyntaxError(ReproError):
+    """Raised by the VQL lexer/parser on malformed query text."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        if self.line is not None and self.column is not None:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class VQLAnalysisError(ReproError):
+    """Raised by the semantic analyzer when a syntactically valid query does
+    not type-check against the schema (unknown class, unknown property,
+    arity mismatch on a method call, ...)."""
+
+
+class AlgebraError(ReproError):
+    """Raised for malformed algebra expressions (unknown references,
+    incompatible reference sets for joins, ...)."""
+
+
+class TranslationError(ReproError):
+    """Raised when a VQL AST cannot be translated into the query algebra."""
+
+
+class OptimizerError(ReproError):
+    """Raised for optimizer failures: unsatisfiable rule sets, missing
+    implementation rules for a logical operator, cost-model errors."""
+
+
+class RuleDerivationError(OptimizerError):
+    """Raised when a piece of semantic knowledge cannot be compiled into an
+    optimizer rule (e.g. the expressions do not mention the bound variable)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during execution."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators on inconsistent parameters."""

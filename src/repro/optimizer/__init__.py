@@ -1,0 +1,56 @@
+"""Rule- and cost-based query optimizer (Volcano-style) with semantic rules
+derived from schema-specific knowledge about methods."""
+
+from repro.optimizer.builtin_rules import (
+    standard_implementations,
+    standard_rules,
+    standard_transformations,
+)
+from repro.optimizer.cost import CostEstimate, CostModel
+from repro.optimizer.generator import OptimizerGenerator
+from repro.optimizer.knowledge import (
+    ConditionEquivalence,
+    ConditionImplication,
+    ExpressionEquivalence,
+    QueryMethodEquivalence,
+    SchemaKnowledge,
+    equivalences_from_inverse_link,
+)
+from repro.optimizer.patterns import (
+    Binding,
+    find_matches,
+    instantiate,
+    match_expression,
+    pattern_from_template,
+    rewrite_matches,
+)
+from repro.optimizer.rules import (
+    CallableImplementationRule,
+    CallableTransformationRule,
+    ImplementationRule,
+    Rule,
+    RuleContext,
+    RuleSet,
+    TransformationRule,
+)
+from repro.optimizer.search import OptimizationResult, Optimizer, OptimizerOptions
+from repro.optimizer.statistics import OptimizerStatistics
+from repro.optimizer.trace import OptimizationTrace, TraceEvent
+from repro.optimizer.typing_support import infer_ref_types, ref_class
+
+__all__ = [
+    "standard_rules", "standard_transformations", "standard_implementations",
+    "CostEstimate", "CostModel",
+    "OptimizerGenerator",
+    "ExpressionEquivalence", "ConditionEquivalence", "ConditionImplication",
+    "QueryMethodEquivalence", "SchemaKnowledge", "equivalences_from_inverse_link",
+    "Binding", "match_expression", "find_matches", "instantiate",
+    "rewrite_matches", "pattern_from_template",
+    "Rule", "TransformationRule", "ImplementationRule",
+    "CallableTransformationRule", "CallableImplementationRule",
+    "RuleContext", "RuleSet",
+    "Optimizer", "OptimizerOptions", "OptimizationResult",
+    "OptimizerStatistics",
+    "OptimizationTrace", "TraceEvent",
+    "infer_ref_types", "ref_class",
+]

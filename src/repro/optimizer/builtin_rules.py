@@ -1,0 +1,408 @@
+"""Predefined (schema-independent) transformation and implementation rules.
+
+Section 6.1: "For query transformation based on the restricted algebra, a
+predefined set of transformation rules is provided.  These are on the one
+hand many well-known rules from relational query optimization, e.g.
+associativity and commutativity of join or interchangeability of selection
+and join."  This module provides that predefined rule set for our general
+algebra, plus the implementation rules mapping logical operators to the
+physical algorithms of :mod:`repro.physical.plans`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    Const,
+    Expression,
+    Var,
+    conjuncts,
+    free_vars,
+    make_conjunction,
+)
+from repro.algebra.operators import (
+    Diff,
+    ExpressionSource,
+    Flat,
+    Get,
+    Join,
+    LogicalOperator,
+    Map,
+    NaturalJoin,
+    Project,
+    Select,
+    Union,
+)
+from repro.optimizer.rules import (
+    CallableImplementationRule,
+    CallableTransformationRule,
+    RuleContext,
+    RuleSet,
+)
+from repro.physical.plans import (
+    ClassScan,
+    DiffOp,
+    ExpressionSetScan,
+    Filter,
+    FlattenEval,
+    HashJoin,
+    MapEval,
+    NaturalMergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    SetProbeFilter,
+    UnionOp,
+)
+
+__all__ = ["standard_rules", "standard_transformations", "standard_implementations"]
+
+_BUILTIN = frozenset({"builtin"})
+
+
+# ----------------------------------------------------------------------
+# transformation rules
+# ----------------------------------------------------------------------
+def _select_split(plan: LogicalOperator, _ctx: RuleContext
+                  ) -> Optional[Iterable[LogicalOperator]]:
+    """select<c1 AND c2>(S) ⇔ select<c1>(select<c2>(S)) — both groupings."""
+    if not isinstance(plan, Select):
+        return None
+    parts = conjuncts(plan.condition)
+    if len(parts) < 2:
+        return None
+    alternatives = []
+    for index in range(len(parts)):
+        outer = parts[index]
+        rest = parts[:index] + parts[index + 1:]
+        inner_condition = make_conjunction(rest)
+        assert inner_condition is not None
+        alternatives.append(Select(outer, Select(inner_condition, plan.input)))
+    return alternatives
+
+
+def _select_merge(plan: LogicalOperator, _ctx: RuleContext
+                  ) -> Optional[Iterable[LogicalOperator]]:
+    """select<c1>(select<c2>(S)) → select<c1 AND c2>(S)."""
+    if not isinstance(plan, Select) or not isinstance(plan.input, Select):
+        return None
+    merged = BinaryOp("AND", plan.condition, plan.input.condition)
+    return [Select(merged, plan.input.input)]
+
+
+def _select_commute(plan: LogicalOperator, _ctx: RuleContext
+                    ) -> Optional[Iterable[LogicalOperator]]:
+    """select<c1>(select<c2>(S)) → select<c2>(select<c1>(S))."""
+    if not isinstance(plan, Select) or not isinstance(plan.input, Select):
+        return None
+    inner = plan.input
+    return [Select(inner.condition, Select(plan.condition, inner.input))]
+
+
+def _select_true_elimination(plan: LogicalOperator, _ctx: RuleContext
+                             ) -> Optional[Iterable[LogicalOperator]]:
+    """select<TRUE>(S) → S."""
+    if isinstance(plan, Select) and plan.condition == Const(True):
+        return [plan.input]
+    return None
+
+
+def _select_pushdown_join(plan: LogicalOperator, _ctx: RuleContext
+                          ) -> Optional[Iterable[LogicalOperator]]:
+    """Push a selection below a join when it only refers to one side."""
+    if not isinstance(plan, Select) or not isinstance(plan.input, Join):
+        return None
+    join = plan.input
+    condition_refs = free_vars(plan.condition)
+    alternatives: list[LogicalOperator] = []
+    if condition_refs <= set(join.left.refs()):
+        alternatives.append(
+            Join(join.condition, Select(plan.condition, join.left), join.right))
+    if condition_refs <= set(join.right.refs()):
+        alternatives.append(
+            Join(join.condition, join.left, Select(plan.condition, join.right)))
+    return alternatives or None
+
+
+def _select_into_join(plan: LogicalOperator, _ctx: RuleContext
+                      ) -> Optional[Iterable[LogicalOperator]]:
+    """select<c>(join<true>(A, B)) → join<c>(A, B) when c spans both sides."""
+    if not isinstance(plan, Select) or not isinstance(plan.input, Join):
+        return None
+    join = plan.input
+    if join.condition != Const(True):
+        return None
+    condition_refs = free_vars(plan.condition)
+    left_refs = set(join.left.refs())
+    right_refs = set(join.right.refs())
+    if condition_refs & left_refs and condition_refs & right_refs:
+        return [Join(plan.condition, join.left, join.right)]
+    return None
+
+
+def _join_condition_to_select(plan: LogicalOperator, _ctx: RuleContext
+                              ) -> Optional[Iterable[LogicalOperator]]:
+    """join<c>(A, B) → select<c>(join<true>(A, B)) — the inverse direction,
+    needed so that semantic rules that rewrite selection conditions can reach
+    conditions that entered the plan as join predicates."""
+    if not isinstance(plan, Join) or plan.condition == Const(True):
+        return None
+    return [Select(plan.condition, Join(Const(True), plan.left, plan.right))]
+
+
+def _join_commute(plan: LogicalOperator, _ctx: RuleContext
+                  ) -> Optional[Iterable[LogicalOperator]]:
+    """join<c>(A, B) → join<c>(B, A)."""
+    if not isinstance(plan, Join):
+        return None
+    return [Join(plan.condition, plan.right, plan.left)]
+
+
+def _select_pushdown_unary(plan: LogicalOperator, _ctx: RuleContext
+                           ) -> Optional[Iterable[LogicalOperator]]:
+    """Push a selection below map/flat when it does not use the new ref."""
+    if not isinstance(plan, Select):
+        return None
+    inner = plan.input
+    condition_refs = free_vars(plan.condition)
+    if isinstance(inner, Map) and inner.ref not in condition_refs:
+        return [Map(inner.ref, inner.expression, Select(plan.condition, inner.input))]
+    if isinstance(inner, Flat) and inner.ref not in condition_refs:
+        return [Flat(inner.ref, inner.expression, Select(plan.condition, inner.input))]
+    return None
+
+
+def _select_pullup_unary(plan: LogicalOperator, _ctx: RuleContext
+                         ) -> Optional[Iterable[LogicalOperator]]:
+    """The inverse of pushing a selection below map/flat."""
+    if isinstance(plan, Map) and isinstance(plan.input, Select):
+        inner = plan.input
+        return [Select(inner.condition, Map(plan.ref, plan.expression, inner.input))]
+    if isinstance(plan, Flat) and isinstance(plan.input, Select):
+        inner = plan.input
+        return [Select(inner.condition, Flat(plan.ref, plan.expression, inner.input))]
+    return None
+
+
+def standard_transformations() -> list[CallableTransformationRule]:
+    """The predefined transformation rules."""
+    specs = [
+        ("select-split", "split a conjunctive selection", _select_split),
+        ("select-merge", "merge stacked selections", _select_merge),
+        ("select-commute", "commute stacked selections", _select_commute),
+        ("select-true-elim", "drop select<TRUE>", _select_true_elimination),
+        ("select-pushdown-join", "push selection below a join", _select_pushdown_join),
+        ("select-into-join", "turn selection over cross join into θ-join",
+         _select_into_join),
+        ("join-condition-to-select", "pull a join condition into a selection",
+         _join_condition_to_select),
+        ("join-commute", "commute join inputs", _join_commute),
+        ("select-pushdown-map-flat", "push selection below map/flat",
+         _select_pushdown_unary),
+        ("select-pullup-map-flat", "pull selection above map/flat",
+         _select_pullup_unary),
+    ]
+    return [CallableTransformationRule(name=name, description=description,
+                                       tags=_BUILTIN, function=function)
+            for name, description, function in specs]
+
+
+# ----------------------------------------------------------------------
+# implementation rules
+# ----------------------------------------------------------------------
+def _implement_get(plan: LogicalOperator, _children: tuple[PhysicalOperator, ...],
+                   _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Get):
+        return [ClassScan(plan.ref, plan.class_name)]
+    return None
+
+
+def _implement_source(plan: LogicalOperator, _children: tuple[PhysicalOperator, ...],
+                      _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, ExpressionSource):
+        return [ExpressionSetScan(plan.ref, plan.expression)]
+    return None
+
+
+def _implement_select_filter(plan: LogicalOperator,
+                             children: tuple[PhysicalOperator, ...],
+                             _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Select):
+        return [Filter(plan.condition, children[0])]
+    return None
+
+
+def _membership_condition(condition: Expression) -> Optional[tuple[str, Expression]]:
+    """Decompose ``a IS-IN E`` with reference-free E into (a, E)."""
+    if (isinstance(condition, BinaryOp) and condition.op == "IS-IN"
+            and isinstance(condition.left, Var)
+            and not free_vars(condition.right)):
+        return condition.left.name, condition.right
+    return None
+
+
+def _implement_select_probe(plan: LogicalOperator,
+                            children: tuple[PhysicalOperator, ...],
+                            _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    """select<a IS-IN E>(S) → set_probe when E does not depend on S."""
+    if not isinstance(plan, Select):
+        return None
+    decomposed = _membership_condition(plan.condition)
+    if decomposed is None:
+        return None
+    ref, expression = decomposed
+    if ref not in plan.input.refs():
+        return None
+    return [SetProbeFilter(ref, expression, children[0])]
+
+
+def _implement_select_membership_scan(plan: LogicalOperator,
+                                      _children: tuple[PhysicalOperator, ...],
+                                      ctx: RuleContext
+                                      ) -> Optional[Iterable[PhysicalOperator]]:
+    """select<a IS-IN E>(get<a, C>) → expr_set_scan<a, E>.
+
+    Sound because E's elements are instances of C (checked via type
+    inference), so intersecting with the full extension is the identity.
+    """
+    if not isinstance(plan, Select) or not isinstance(plan.input, Get):
+        return None
+    decomposed = _membership_condition(plan.condition)
+    if decomposed is None:
+        return None
+    ref, expression = decomposed
+    leaf = plan.input
+    if ref != leaf.ref:
+        return None
+    element_class = ctx.expression_class(expression, leaf)
+    if element_class is None:
+        return None
+    if element_class != leaf.class_name and not _is_subclass(
+            ctx, element_class, leaf.class_name):
+        return None
+    return [ExpressionSetScan(ref, expression)]
+
+
+def _is_subclass(ctx: RuleContext, class_name: str, ancestor: str) -> bool:
+    current: Optional[str] = class_name
+    while current is not None:
+        if current == ancestor:
+            return True
+        current = ctx.schema.get_class(current).superclass
+    return False
+
+
+def _split_equi_condition(plan: Join) -> Optional[tuple[Expression, Expression]]:
+    """For an equality join condition, return (left_key, right_key)."""
+    condition = plan.condition
+    if not isinstance(condition, BinaryOp) or condition.op != "==":
+        return None
+    left_refs = set(plan.left.refs())
+    right_refs = set(plan.right.refs())
+    first_refs = free_vars(condition.left)
+    second_refs = free_vars(condition.right)
+    if first_refs and second_refs:
+        if first_refs <= left_refs and second_refs <= right_refs:
+            return condition.left, condition.right
+        if first_refs <= right_refs and second_refs <= left_refs:
+            return condition.right, condition.left
+    return None
+
+
+def _implement_join_nested_loop(plan: LogicalOperator,
+                                children: tuple[PhysicalOperator, ...],
+                                _ctx: RuleContext
+                                ) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Join):
+        return [NestedLoopJoin(plan.condition, children[0], children[1])]
+    return None
+
+
+def _implement_join_hash(plan: LogicalOperator,
+                         children: tuple[PhysicalOperator, ...],
+                         _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if not isinstance(plan, Join):
+        return None
+    keys = _split_equi_condition(plan)
+    if keys is None:
+        return None
+    left_key, right_key = keys
+    return [HashJoin(left_key, right_key, children[0], children[1])]
+
+
+def _implement_natural_join(plan: LogicalOperator,
+                            children: tuple[PhysicalOperator, ...],
+                            _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, NaturalJoin):
+        return [NaturalMergeJoin(children[0], children[1])]
+    return None
+
+
+def _implement_map(plan: LogicalOperator, children: tuple[PhysicalOperator, ...],
+                   _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Map):
+        return [MapEval(plan.ref, plan.expression, children[0])]
+    return None
+
+
+def _implement_flat(plan: LogicalOperator, children: tuple[PhysicalOperator, ...],
+                    _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Flat):
+        return [FlattenEval(plan.ref, plan.expression, children[0])]
+    return None
+
+
+def _implement_project(plan: LogicalOperator, children: tuple[PhysicalOperator, ...],
+                       _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Project):
+        return [ProjectOp(plan.kept, children[0])]
+    return None
+
+
+def _implement_union(plan: LogicalOperator, children: tuple[PhysicalOperator, ...],
+                     _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Union):
+        return [UnionOp(children[0], children[1])]
+    return None
+
+
+def _implement_diff(plan: LogicalOperator, children: tuple[PhysicalOperator, ...],
+                    _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
+    if isinstance(plan, Diff):
+        return [DiffOp(children[0], children[1])]
+    return None
+
+
+def standard_implementations() -> list[CallableImplementationRule]:
+    """The predefined implementation rules."""
+    specs = [
+        ("impl-get-scan", "class extension scan", _implement_get),
+        ("impl-expression-source", "materialize a set-valued expression",
+         _implement_source),
+        ("impl-select-filter", "per-tuple filter", _implement_select_filter),
+        ("impl-select-probe", "precompute a membership set and probe",
+         _implement_select_probe),
+        ("impl-select-membership-scan",
+         "replace scan + membership test by scanning the member set",
+         _implement_select_membership_scan),
+        ("impl-join-nested-loop", "nested loop join", _implement_join_nested_loop),
+        ("impl-join-hash", "hash join on equality keys", _implement_join_hash),
+        ("impl-natural-join", "natural join", _implement_natural_join),
+        ("impl-map", "per-tuple expression evaluation", _implement_map),
+        ("impl-flat", "per-tuple flattening", _implement_flat),
+        ("impl-project", "projection with duplicate elimination", _implement_project),
+        ("impl-union", "set union", _implement_union),
+        ("impl-diff", "set difference", _implement_diff),
+    ]
+    return [CallableImplementationRule(name=name, description=description,
+                                       tags=_BUILTIN, function=function)
+            for name, description, function in specs]
+
+
+def standard_rules() -> RuleSet:
+    """The complete predefined rule set (transformations + implementations)."""
+    return RuleSet("standard",
+                   transformations=standard_transformations(),
+                   implementations=standard_implementations())

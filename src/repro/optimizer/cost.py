@@ -1,0 +1,378 @@
+"""Cost model for physical plans.
+
+Algebraic optimization relies on equivalences *and* cost functions
+(Section 2.3); the paper stresses that — unlike attributes — methods do not
+have uniform access cost.  The model therefore charges:
+
+* per-tuple scan/probe/projection work with small constants,
+* per-invocation method costs taken from the schema's
+  :class:`~repro.datamodel.schema.MethodDef.cost_per_call` annotations
+  (external methods are typically orders of magnitude more expensive than
+  internal path methods),
+* one-time costs for set-valued expressions that a plan evaluates once
+  (e.g. ``Paragraph→retrieve_by_string`` in an :class:`ExpressionSetScan`).
+
+Cardinalities come from actual class-extension sizes, method result hints,
+and measured average fan-outs of set-valued properties when a database is
+available; otherwise documented defaults are used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    ClassExtent,
+    ClassMethodCall,
+    Const,
+    Expression,
+    MethodCall,
+    PropertyAccess,
+    SetConstructor,
+    TupleConstructor,
+    UnaryOp,
+    Var,
+    walk,
+)
+from repro.datamodel.database import Database
+from repro.datamodel.schema import MethodDef, Schema
+from repro.datamodel.types import SetType
+from repro.errors import ReproError
+from repro.physical.plans import (
+    ClassScan,
+    DiffOp,
+    ExpressionSetScan,
+    Filter,
+    FlattenEval,
+    HashJoin,
+    MapEval,
+    NaturalMergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    SetProbeFilter,
+    UnionOp,
+)
+from repro.vql.analyzer import class_of_type
+
+__all__ = ["CostEstimate", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated total cost and output cardinality of a plan."""
+
+    cost: float
+    cardinality: float
+
+    def __str__(self) -> str:
+        return f"cost={self.cost:.1f}, card={self.cardinality:.1f}"
+
+
+class CostModel:
+    """Cost and cardinality estimation for physical plans."""
+
+    # per-tuple constants (abstract cost units)
+    TUPLE_SCAN_COST = 1.0
+    TUPLE_EMIT_COST = 0.1
+    PROBE_COST = 0.05
+    HASH_BUILD_COST = 0.1
+    PROJECT_COST = 0.05
+    COMPARISON_COST = 0.05
+    PROPERTY_ACCESS_COST = 0.2
+    # defaults when no statistics are available
+    DEFAULT_EXTENSION_SIZE = 1000.0
+    DEFAULT_METHOD_COST = 1.0
+    DEFAULT_METHOD_RESULT_CARD = 10.0
+    DEFAULT_FANOUT = 5.0
+    DEFAULT_SELECTIVITY = 0.1
+    EQUALITY_SELECTIVITY = 0.05
+    METHOD_PREDICATE_SELECTIVITY = 0.1
+    #: number of objects sampled when measuring property fan-outs
+    FANOUT_SAMPLE_SIZE = 200
+
+    def __init__(self, schema: Schema, database: Optional[Database] = None):
+        self.schema = schema
+        self.database = database
+        self._fanout_cache: dict[tuple[str, str], float] = {}
+        self._method_cache: dict[str, Optional[MethodDef]] = {}
+
+    # ------------------------------------------------------------------
+    # physical plan estimation
+    # ------------------------------------------------------------------
+    def estimate(self, plan: PhysicalOperator) -> CostEstimate:
+        """Estimate the cost and cardinality of a physical plan."""
+        if isinstance(plan, ClassScan):
+            cardinality = self.extension_size(plan.class_name)
+            return CostEstimate(cardinality * self.TUPLE_SCAN_COST, cardinality)
+
+        if isinstance(plan, ExpressionSetScan):
+            cardinality = self.expression_cardinality(plan.expression)
+            cost = (self.expression_cost(plan.expression)
+                    + cardinality * self.TUPLE_EMIT_COST)
+            return CostEstimate(cost, cardinality)
+
+        if isinstance(plan, Filter):
+            inner = self.estimate(plan.input)
+            per_tuple = self.expression_cost(plan.condition)
+            selectivity = self.condition_selectivity(plan.condition, inner.cardinality)
+            return CostEstimate(inner.cost + inner.cardinality * per_tuple,
+                                max(inner.cardinality * selectivity, 0.0))
+
+        if isinstance(plan, SetProbeFilter):
+            inner = self.estimate(plan.input)
+            set_card = self.expression_cardinality(plan.set_expression)
+            build = (self.expression_cost(plan.set_expression)
+                     + set_card * self.HASH_BUILD_COST)
+            probe = inner.cardinality * self.PROBE_COST
+            selectivity = min(1.0, set_card / max(inner.cardinality, 1.0))
+            return CostEstimate(inner.cost + build + probe,
+                                inner.cardinality * selectivity)
+
+        if isinstance(plan, NestedLoopJoin):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            pairs = left.cardinality * right.cardinality
+            per_pair = self.expression_cost(plan.condition)
+            selectivity = self.condition_selectivity(plan.condition, pairs)
+            return CostEstimate(left.cost + right.cost + pairs * max(per_pair, self.COMPARISON_COST),
+                                pairs * selectivity)
+
+        if isinstance(plan, HashJoin):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            key_cost = (self.expression_cost(plan.left_key)
+                        + self.expression_cost(plan.right_key)) / 2.0
+            build = right.cardinality * (key_cost + self.HASH_BUILD_COST)
+            probe = left.cardinality * (key_cost + self.PROBE_COST)
+            join_selectivity = 1.0 / max(left.cardinality, right.cardinality, 1.0)
+            cardinality = left.cardinality * right.cardinality * join_selectivity
+            return CostEstimate(left.cost + right.cost + build + probe, cardinality)
+
+        if isinstance(plan, NaturalMergeJoin):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            build = right.cardinality * self.HASH_BUILD_COST
+            probe = left.cardinality * self.PROBE_COST
+            join_selectivity = 1.0 / max(left.cardinality, right.cardinality, 1.0)
+            cardinality = left.cardinality * right.cardinality * join_selectivity
+            if not plan.common_refs():
+                cardinality = left.cardinality * right.cardinality
+            return CostEstimate(left.cost + right.cost + build + probe, cardinality)
+
+        if isinstance(plan, MapEval):
+            inner = self.estimate(plan.input)
+            per_tuple = self.expression_cost(plan.expression)
+            return CostEstimate(inner.cost + inner.cardinality * per_tuple,
+                                inner.cardinality)
+
+        if isinstance(plan, FlattenEval):
+            inner = self.estimate(plan.input)
+            per_tuple = self.expression_cost(plan.expression)
+            fanout = self.expression_fanout(plan.expression)
+            cardinality = inner.cardinality * fanout
+            cost = (inner.cost + inner.cardinality * per_tuple
+                    + cardinality * self.TUPLE_EMIT_COST)
+            return CostEstimate(cost, cardinality)
+
+        if isinstance(plan, ProjectOp):
+            inner = self.estimate(plan.input)
+            return CostEstimate(inner.cost + inner.cardinality * self.PROJECT_COST,
+                                inner.cardinality)
+
+        if isinstance(plan, UnionOp):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            total = left.cardinality + right.cardinality
+            return CostEstimate(left.cost + right.cost + total * self.PROBE_COST,
+                                total)
+
+        if isinstance(plan, DiffOp):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            cost = (left.cost + right.cost
+                    + (left.cardinality + right.cardinality) * self.PROBE_COST)
+            return CostEstimate(cost, left.cardinality)
+
+        # Unknown operators get a pessimistic default so they are only chosen
+        # when nothing else is applicable.
+        children = [self.estimate(child) for child in plan.inputs()]
+        cost = sum(c.cost for c in children) + 1000.0
+        cardinality = max((c.cardinality for c in children), default=1.0)
+        return CostEstimate(cost, cardinality)
+
+    # ------------------------------------------------------------------
+    # statistics primitives
+    # ------------------------------------------------------------------
+    def extension_size(self, class_name: str) -> float:
+        if self.database is not None:
+            try:
+                return float(max(self.database.extension_size(class_name), 1))
+            except ReproError:
+                return self.DEFAULT_EXTENSION_SIZE
+        return self.DEFAULT_EXTENSION_SIZE
+
+    def method_definition(self, method_name: str) -> Optional[MethodDef]:
+        """Find a method definition by name anywhere in the schema."""
+        if method_name in self._method_cache:
+            return self._method_cache[method_name]
+        found: Optional[MethodDef] = None
+        for class_def in self.schema.classes.values():
+            if method_name in class_def.instance_methods:
+                found = class_def.instance_methods[method_name]
+                break
+            if method_name in class_def.class_methods:
+                found = class_def.class_methods[method_name]
+                break
+        self._method_cache[method_name] = found
+        return found
+
+    def method_cost(self, method_name: str) -> float:
+        method = self.method_definition(method_name)
+        return method.cost_per_call if method is not None else self.DEFAULT_METHOD_COST
+
+    def method_result_cardinality(self, method_name: str) -> float:
+        method = self.method_definition(method_name)
+        if method is None:
+            return self.DEFAULT_METHOD_RESULT_CARD
+        if method.result_cardinality_hint is not None:
+            return float(method.result_cardinality_hint)
+        if isinstance(method.return_type, SetType):
+            return self.DEFAULT_METHOD_RESULT_CARD
+        return 1.0
+
+    def property_fanout(self, class_name: str, prop: str) -> float:
+        """Average number of elements of a set-valued property, measured on
+        the database when possible."""
+        key = (class_name, prop)
+        if key in self._fanout_cache:
+            return self._fanout_cache[key]
+        fanout = self.DEFAULT_FANOUT
+        if self.database is not None and self.schema.has_property(class_name, prop):
+            oids = self.database.extension(class_name)[:self.FANOUT_SAMPLE_SIZE]
+            sizes: list[int] = []
+            for oid in oids:
+                value = self.database.get(oid).get_or_none(prop)
+                if isinstance(value, (set, frozenset, list, tuple)):
+                    sizes.append(len(value))
+            if sizes:
+                fanout = max(sum(sizes) / len(sizes), 1.0)
+        self._fanout_cache[key] = fanout
+        return fanout
+
+    # ------------------------------------------------------------------
+    # expression estimation
+    # ------------------------------------------------------------------
+    def expression_cost(self, expression: Expression) -> float:
+        """Cost of evaluating *expression* once (per input tuple)."""
+        cost = 0.0
+        for node in walk(expression):
+            if isinstance(node, MethodCall):
+                cost += self.method_cost(node.method)
+            elif isinstance(node, ClassMethodCall):
+                cost += self.method_cost(node.method)
+            elif isinstance(node, PropertyAccess):
+                cost += self.PROPERTY_ACCESS_COST
+            elif isinstance(node, (BinaryOp, UnaryOp)):
+                cost += self.COMPARISON_COST
+            elif isinstance(node, ClassExtent):
+                cost += self.extension_size(node.class_name) * self.TUPLE_EMIT_COST
+        return cost
+
+    def expression_cardinality(self, expression: Expression) -> float:
+        """Estimated number of elements of a set-valued expression."""
+        cardinality, _ = self._cardinality_and_class(expression)
+        return cardinality
+
+    def expression_fanout(self, expression: Expression) -> float:
+        """Estimated elements produced per input tuple when flattening."""
+        cardinality, _ = self._cardinality_and_class(expression)
+        return max(cardinality, 1.0)
+
+    def _cardinality_and_class(self, expression: Expression
+                               ) -> tuple[float, Optional[str]]:
+        if isinstance(expression, Const):
+            value = expression.value
+            if isinstance(value, (tuple, frozenset)):
+                return float(max(len(value), 1)), None
+            return 1.0, None
+        if isinstance(expression, Var):
+            return 1.0, None
+        if isinstance(expression, ClassExtent):
+            return self.extension_size(expression.class_name), expression.class_name
+        if isinstance(expression, ClassMethodCall):
+            method = self.method_definition(expression.method)
+            class_name = None
+            if method is not None:
+                class_name = class_of_type(method.return_type)
+            return self.method_result_cardinality(expression.method), class_name
+        if isinstance(expression, MethodCall):
+            base_card, _ = self._cardinality_and_class(expression.receiver)
+            method = self.method_definition(expression.method)
+            class_name = class_of_type(method.return_type) if method else None
+            per_receiver = self.method_result_cardinality(expression.method)
+            return max(base_card, 1.0) * per_receiver, class_name
+        if isinstance(expression, PropertyAccess):
+            base_card, base_class = self._cardinality_and_class(expression.base)
+            if base_class is None:
+                return max(base_card, 1.0) * self.DEFAULT_FANOUT, None
+            try:
+                prop_def = self.schema.resolve_property(base_class, expression.prop)
+            except ReproError:
+                return max(base_card, 1.0), None
+            target = prop_def.target_class
+            if isinstance(prop_def.vml_type, SetType):
+                fanout = self.property_fanout(base_class, expression.prop)
+                return max(base_card, 1.0) * fanout, target
+            return max(base_card, 1.0), target
+        if isinstance(expression, BinaryOp):
+            left, left_class = self._cardinality_and_class(expression.left)
+            right, right_class = self._cardinality_and_class(expression.right)
+            if expression.op == "INTERSECT":
+                return min(left, right), left_class or right_class
+            if expression.op == "UNION":
+                return left + right, left_class or right_class
+            if expression.op == "DIFF":
+                return left, left_class
+            return 1.0, None
+        if isinstance(expression, (SetConstructor,)):
+            return float(max(len(expression.elements), 1)), None
+        if isinstance(expression, (TupleConstructor, UnaryOp)):
+            return 1.0, None
+        return 1.0, None
+
+    # ------------------------------------------------------------------
+    # selectivity
+    # ------------------------------------------------------------------
+    def condition_selectivity(self, condition: Expression,
+                              input_cardinality: float) -> float:
+        """Fraction of tuples estimated to satisfy *condition*."""
+        if isinstance(condition, Const):
+            return 1.0 if condition.value else 0.0
+        if isinstance(condition, BinaryOp):
+            op = condition.op
+            if op == "AND":
+                return (self.condition_selectivity(condition.left, input_cardinality)
+                        * self.condition_selectivity(condition.right, input_cardinality))
+            if op == "OR":
+                left = self.condition_selectivity(condition.left, input_cardinality)
+                right = self.condition_selectivity(condition.right, input_cardinality)
+                return min(1.0, left + right - left * right)
+            if op == "==":
+                return self.EQUALITY_SELECTIVITY
+            if op in ("<", "<=", ">", ">="):
+                return 0.3
+            if op == "!=":
+                return 1.0 - self.EQUALITY_SELECTIVITY
+            if op == "IS-IN":
+                member_card = self.expression_cardinality(condition.right)
+                return min(1.0, member_card / max(input_cardinality, 1.0))
+            if op == "IS-SUBSET":
+                return self.DEFAULT_SELECTIVITY
+        if isinstance(condition, UnaryOp) and condition.op == "NOT":
+            return 1.0 - self.condition_selectivity(condition.operand, input_cardinality)
+        if isinstance(condition, (MethodCall, ClassMethodCall)):
+            return self.METHOD_PREDICATE_SELECTIVITY
+        return self.DEFAULT_SELECTIVITY

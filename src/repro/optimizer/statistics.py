@@ -1,0 +1,40 @@
+"""Counters describing one optimization run (search-space statistics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OptimizerStatistics:
+    """Search-space and effort statistics of one optimizer invocation."""
+
+    logical_plans_explored: int = 0
+    transformations_applied: int = 0
+    transformation_attempts: int = 0
+    implementation_alternatives: int = 0
+    physical_plans_costed: int = 0
+    exploration_truncated: bool = False
+    optimization_seconds: float = 0.0
+    rule_application_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_rule(self, rule_name: str) -> None:
+        self.rule_application_counts[rule_name] = (
+            self.rule_application_counts.get(rule_name, 0) + 1)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "logical_plans_explored": self.logical_plans_explored,
+            "transformations_applied": self.transformations_applied,
+            "transformation_attempts": self.transformation_attempts,
+            "implementation_alternatives": self.implementation_alternatives,
+            "physical_plans_costed": self.physical_plans_costed,
+            "exploration_truncated": float(self.exploration_truncated),
+            "optimization_seconds": self.optimization_seconds,
+        }
+
+    def __str__(self) -> str:
+        return (f"OptimizerStatistics(plans={self.logical_plans_explored}, "
+                f"transformations={self.transformations_applied}, "
+                f"physical={self.physical_plans_costed}, "
+                f"time={self.optimization_seconds:.3f}s)")

@@ -1,0 +1,129 @@
+"""Reference typing for logical algebra plans.
+
+Pattern constraints (``?A<?a1, Paragraph>`` — "an algebraic expression
+producing instances of class Paragraph under reference ?a1") and several
+implementation rules need to know which class a reference ranges over.  This
+module infers a type for every reference of a logical operator tree from the
+schema, reusing the VQL expression type inference.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import (
+    Diff,
+    ExpressionSource,
+    Flat,
+    Get,
+    Join,
+    LogicalOperator,
+    Map,
+    NaturalJoin,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra import restricted as r
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import ANY, ObjectType, SetType, VMLType
+from repro.errors import ReproError
+from repro.vql.analyzer import class_of_type, infer_expression_type
+
+__all__ = ["infer_ref_types", "ref_class", "expression_class", "element_type"]
+
+
+def element_type(vml_type: VMLType) -> VMLType:
+    """The member type of a set type; other types pass through."""
+    if isinstance(vml_type, SetType):
+        return vml_type.element
+    return vml_type
+
+
+def infer_ref_types(plan: LogicalOperator, schema: Schema) -> dict[str, VMLType]:
+    """Infer the VML type of every output reference of *plan*.
+
+    Inference is best-effort: references whose type cannot be determined map
+    to :data:`~repro.datamodel.types.ANY`, they never cause an error.
+    """
+    if isinstance(plan, Get):
+        return {plan.ref: ObjectType(plan.class_name)}
+    if isinstance(plan, ExpressionSource):
+        return {plan.ref: _safe_element(plan.expression, {}, schema)}
+    if isinstance(plan, (Select, r.SelectCmp)):
+        return infer_ref_types(plan.inputs()[0], schema)
+    if isinstance(plan, Project):
+        inner = infer_ref_types(plan.input, schema)
+        return {ref: inner.get(ref, ANY) for ref in plan.kept}
+    if isinstance(plan, (Join, NaturalJoin, Union, Diff, r.CrossProduct, r.JoinCmp)):
+        types: dict[str, VMLType] = {}
+        for child in plan.inputs():
+            types.update(infer_ref_types(child, schema))
+        return types
+    if isinstance(plan, Map):
+        types = infer_ref_types(plan.input, schema)
+        types[plan.ref] = _safe_infer(plan.expression, types, schema)
+        return types
+    if isinstance(plan, Flat):
+        types = infer_ref_types(plan.input, schema)
+        types[plan.ref] = _safe_element(plan.expression, types, schema)
+        return types
+    # Restricted-algebra map/flat operators: resolve what we easily can and
+    # default the rest to ANY.
+    if isinstance(plan, r.MapProperty):
+        types = infer_ref_types(plan.input, schema)
+        types[plan.new_ref] = _property_type(types.get(plan.src_ref, ANY),
+                                             plan.prop, schema)
+        return types
+    if isinstance(plan, r.FlatProperty):
+        types = infer_ref_types(plan.input, schema)
+        types[plan.new_ref] = element_type(
+            _property_type(types.get(plan.src_ref, ANY), plan.prop, schema))
+        return types
+    if isinstance(plan, (r.MapMethod, r.FlatMethod, r.MapClassMethod,
+                         r.MapOperator, r.MapConst, r.MapExtent, r.FlatRef)):
+        types = infer_ref_types(plan.inputs()[0], schema)
+        new_ref = getattr(plan, "new_ref", None)
+        if new_ref is not None:
+            types.setdefault(new_ref, ANY)
+        return types
+    # Unknown operator kind: type every announced reference as ANY.
+    return {ref: ANY for ref in plan.refs()}
+
+
+def ref_class(plan: LogicalOperator, ref: str,
+              schema: Schema) -> Optional[str]:
+    """The class a reference ranges over, or None when not object-typed."""
+    types = infer_ref_types(plan, schema)
+    return class_of_type(types.get(ref, ANY))
+
+
+def expression_class(expression: Expression, env: Mapping[str, VMLType],
+                     schema: Schema) -> Optional[str]:
+    """The class of the objects an expression evaluates to (element class
+    for set-valued expressions), or None."""
+    return class_of_type(_safe_infer(expression, env, schema))
+
+
+def _safe_infer(expression: Expression, env: Mapping[str, VMLType],
+                schema: Schema) -> VMLType:
+    try:
+        return infer_expression_type(expression, dict(env), schema)
+    except ReproError:
+        return ANY
+
+
+def _safe_element(expression: Expression, env: Mapping[str, VMLType],
+                  schema: Schema) -> VMLType:
+    return element_type(_safe_infer(expression, env, schema))
+
+
+def _property_type(base: VMLType, prop: str, schema: Schema) -> VMLType:
+    class_name = class_of_type(base)
+    if class_name is None:
+        return ANY
+    try:
+        return schema.resolve_property(class_name, prop).vml_type
+    except ReproError:
+        return ANY

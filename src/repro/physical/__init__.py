@@ -1,0 +1,44 @@
+"""Physical algebra and execution engine."""
+
+from repro.physical.evaluator import evaluate, evaluate_predicate, make_hashable
+from repro.physical.executor import Row, execute_plan
+from repro.physical.plans import (
+    ClassScan,
+    DiffOp,
+    ExpressionSetScan,
+    Filter,
+    FlattenEval,
+    HashJoin,
+    MapEval,
+    NaturalMergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    SetProbeFilter,
+    UnionOp,
+    walk_physical,
+)
+from repro.physical.restricted_exec import execute_restricted
+
+__all__ = [
+    "evaluate",
+    "evaluate_predicate",
+    "make_hashable",
+    "Row",
+    "execute_plan",
+    "execute_restricted",
+    "PhysicalOperator",
+    "ClassScan",
+    "ExpressionSetScan",
+    "Filter",
+    "SetProbeFilter",
+    "NestedLoopJoin",
+    "HashJoin",
+    "NaturalMergeJoin",
+    "MapEval",
+    "FlattenEval",
+    "ProjectOp",
+    "UnionOp",
+    "DiffOp",
+    "walk_physical",
+]

@@ -1,0 +1,166 @@
+"""Execution of physical plans.
+
+The executor interprets physical plan trees bottom-up, producing lists of
+rows (mappings from references to values).  The algebra has set semantics;
+duplicate elimination happens at projections, unions and set scans, while
+the other operators preserve distinctness of their inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.datamodel.database import Database
+from repro.errors import ExecutionError
+from repro.physical.evaluator import evaluate, evaluate_predicate, make_hashable
+from repro.physical.plans import (
+    ClassScan,
+    DiffOp,
+    ExpressionSetScan,
+    Filter,
+    FlattenEval,
+    HashJoin,
+    MapEval,
+    NaturalMergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    SetProbeFilter,
+    UnionOp,
+)
+
+__all__ = ["execute_plan", "Row"]
+
+Row = dict[str, Any]
+
+
+def execute_plan(plan: PhysicalOperator, database: Database) -> list[Row]:
+    """Execute *plan* against *database* and return the result rows."""
+    if isinstance(plan, ClassScan):
+        return [{plan.ref: oid} for oid in database.extension(plan.class_name)]
+
+    if isinstance(plan, ExpressionSetScan):
+        value = evaluate(plan.expression, {}, database)
+        return [{plan.ref: element} for element in _iterate_set(value, plan)]
+
+    if isinstance(plan, Filter):
+        rows = execute_plan(plan.input, database)
+        return [row for row in rows
+                if evaluate_predicate(plan.condition, row, database)]
+
+    if isinstance(plan, SetProbeFilter):
+        rows = execute_plan(plan.input, database)
+        members = {make_hashable(v)
+                   for v in _iterate_set(
+                       evaluate(plan.set_expression, {}, database), plan)}
+        return [row for row in rows
+                if make_hashable(row.get(plan.ref)) in members]
+
+    if isinstance(plan, NestedLoopJoin):
+        left_rows = execute_plan(plan.left, database)
+        right_rows = execute_plan(plan.right, database)
+        result: list[Row] = []
+        for left_row in left_rows:
+            for right_row in right_rows:
+                combined = {**left_row, **right_row}
+                if evaluate_predicate(plan.condition, combined, database):
+                    result.append(combined)
+        return result
+
+    if isinstance(plan, HashJoin):
+        left_rows = execute_plan(plan.left, database)
+        right_rows = execute_plan(plan.right, database)
+        table: dict[Any, list[Row]] = defaultdict(list)
+        for right_row in right_rows:
+            key = make_hashable(evaluate(plan.right_key, right_row, database))
+            table[key].append(right_row)
+        result = []
+        for left_row in left_rows:
+            key = make_hashable(evaluate(plan.left_key, left_row, database))
+            for right_row in table.get(key, ()):
+                result.append({**left_row, **right_row})
+        return result
+
+    if isinstance(plan, NaturalMergeJoin):
+        left_rows = execute_plan(plan.left, database)
+        right_rows = execute_plan(plan.right, database)
+        common = plan.common_refs()
+        if not common:
+            # Degenerates to a cartesian product, as in the logical algebra.
+            return [{**l, **r} for l in left_rows for r in right_rows]
+        table = defaultdict(list)
+        for right_row in right_rows:
+            key = tuple(make_hashable(right_row.get(ref)) for ref in common)
+            table[key].append(right_row)
+        result = []
+        for left_row in left_rows:
+            key = tuple(make_hashable(left_row.get(ref)) for ref in common)
+            for right_row in table.get(key, ()):
+                result.append({**left_row, **right_row})
+        return result
+
+    if isinstance(plan, MapEval):
+        rows = execute_plan(plan.input, database)
+        return [{**row, plan.ref: evaluate(plan.expression, row, database)}
+                for row in rows]
+
+    if isinstance(plan, FlattenEval):
+        rows = execute_plan(plan.input, database)
+        result = []
+        for row in rows:
+            value = evaluate(plan.expression, row, database)
+            for element in _iterate_set(value, plan, allow_none=True):
+                result.append({**row, plan.ref: element})
+        return result
+
+    if isinstance(plan, ProjectOp):
+        rows = execute_plan(plan.input, database)
+        return _distinct([{ref: row.get(ref) for ref in plan.kept} for row in rows])
+
+    if isinstance(plan, UnionOp):
+        left_rows = execute_plan(plan.left, database)
+        right_rows = execute_plan(plan.right, database)
+        return _distinct(left_rows + right_rows)
+
+    if isinstance(plan, DiffOp):
+        left_rows = execute_plan(plan.left, database)
+        right_rows = execute_plan(plan.right, database)
+        right_keys = {make_hashable(row) for row in right_rows}
+        return [row for row in _distinct(left_rows)
+                if make_hashable(row) not in right_keys]
+
+    raise ExecutionError(f"unknown physical operator {plan!r}")
+
+
+def _iterate_set(value: Any, plan: PhysicalOperator,
+                 allow_none: bool = False) -> list[Any]:
+    """Interpret *value* as a set of elements for scanning/flattening."""
+    if value is None:
+        if allow_none:
+            return []
+        raise ExecutionError(
+            f"{plan.describe()} evaluated to None instead of a set")
+    if isinstance(value, (set, frozenset, list, tuple)):
+        seen: set[Any] = set()
+        elements: list[Any] = []
+        for element in value:
+            key = make_hashable(element)
+            if key not in seen:
+                seen.add(key)
+                elements.append(element)
+        return elements
+    # A scalar is treated as a singleton set, which keeps single-valued
+    # expressions (e.g. a path ending in a single object) usable in FROM.
+    return [value]
+
+
+def _distinct(rows: list[Row]) -> list[Row]:
+    seen: set[Any] = set()
+    result: list[Row] = []
+    for row in rows:
+        key = make_hashable(row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result

@@ -1,0 +1,73 @@
+"""Naive (non-optimized) lowering of logical plans.
+
+The paper compares the optimized plan against "a straightforward evaluation
+of the query without transformation".  This module provides that baseline:
+each logical operator is mapped to its default physical algorithm, with no
+transformation rules and no cost-based choice — get becomes a class scan,
+select a per-tuple filter (invoking whatever methods the condition contains),
+join a nested-loop join, and so on.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Diff,
+    ExpressionSource,
+    Flat,
+    Get,
+    Join,
+    LogicalOperator,
+    Map,
+    NaturalJoin,
+    Project,
+    Select,
+    Union,
+)
+from repro.errors import ExecutionError
+from repro.physical.plans import (
+    ClassScan,
+    DiffOp,
+    ExpressionSetScan,
+    Filter,
+    FlattenEval,
+    MapEval,
+    NaturalMergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    UnionOp,
+)
+
+__all__ = ["naive_implementation"]
+
+
+def naive_implementation(plan: LogicalOperator) -> PhysicalOperator:
+    """Map *plan* to physical operators one-to-one, without optimization."""
+    if isinstance(plan, Get):
+        return ClassScan(plan.ref, plan.class_name)
+    if isinstance(plan, ExpressionSource):
+        return ExpressionSetScan(plan.ref, plan.expression)
+    if isinstance(plan, Select):
+        return Filter(plan.condition, naive_implementation(plan.input))
+    if isinstance(plan, Join):
+        return NestedLoopJoin(plan.condition,
+                              naive_implementation(plan.left),
+                              naive_implementation(plan.right))
+    if isinstance(plan, NaturalJoin):
+        return NaturalMergeJoin(naive_implementation(plan.left),
+                                naive_implementation(plan.right))
+    if isinstance(plan, Union):
+        return UnionOp(naive_implementation(plan.left),
+                       naive_implementation(plan.right))
+    if isinstance(plan, Diff):
+        return DiffOp(naive_implementation(plan.left),
+                      naive_implementation(plan.right))
+    if isinstance(plan, Map):
+        return MapEval(plan.ref, plan.expression, naive_implementation(plan.input))
+    if isinstance(plan, Flat):
+        return FlattenEval(plan.ref, plan.expression,
+                           naive_implementation(plan.input))
+    if isinstance(plan, Project):
+        return ProjectOp(plan.kept, naive_implementation(plan.input))
+    raise ExecutionError(
+        f"operator {plan.describe()} has no naive implementation")

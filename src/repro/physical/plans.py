@@ -1,0 +1,351 @@
+"""Physical algebra: executable plan nodes.
+
+Physical operators correspond to concrete algorithms with cost functions,
+exactly as in the Volcano optimizer generator.  Implementation rules map
+logical operators onto these nodes; the executor
+(:mod:`repro.physical.executor`) interprets them against a database.
+
+The physically interesting nodes for the paper's experiments are:
+
+* :class:`ExpressionSetScan` — produce tuples from a reference-free
+  set-valued expression evaluated once (this is how an externally implemented
+  bulk method such as ``Paragraph→retrieve_by_string`` becomes a physical
+  operator, Section 3.2 / Section 4.2 "implementation rules");
+* :class:`SetProbeFilter` — precompute a reference-free set once and keep
+  only input tuples whose reference value belongs to it (the physical
+  counterpart of a semantically derived ``IS-IN`` restriction);
+* :class:`Filter` with a method call in the predicate — the naive expensive
+  evaluation the semantic rules are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algebra.expressions import Expression, free_vars
+from repro.errors import AlgebraError
+
+__all__ = [
+    "PhysicalOperator",
+    "ClassScan",
+    "ExpressionSetScan",
+    "Filter",
+    "SetProbeFilter",
+    "NestedLoopJoin",
+    "HashJoin",
+    "NaturalMergeJoin",
+    "MapEval",
+    "FlattenEval",
+    "ProjectOp",
+    "UnionOp",
+    "DiffOp",
+    "walk_physical",
+]
+
+
+class PhysicalOperator:
+    """Abstract base class of physical plan nodes."""
+
+    name: str = "physical"
+
+    def inputs(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def with_inputs(self, inputs: Sequence["PhysicalOperator"]) -> "PhysicalOperator":
+        if self.inputs():
+            raise NotImplementedError(type(self).__name__)
+        return self
+
+    def refs(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ClassScan(PhysicalOperator):
+    """Sequential scan over a class extension."""
+
+    ref: str
+    class_name: str
+    name = "class_scan"
+
+    def refs(self) -> tuple[str, ...]:
+        return (self.ref,)
+
+    def describe(self) -> str:
+        return f"class_scan<{self.ref}, {self.class_name}>"
+
+
+@dataclass(frozen=True)
+class ExpressionSetScan(PhysicalOperator):
+    """Evaluate a reference-free set-valued expression once and emit one
+    tuple per element (e.g. ``Paragraph→retrieve_by_string('x')``)."""
+
+    ref: str
+    expression: Expression
+    name = "expr_set_scan"
+
+    def __post_init__(self) -> None:
+        if free_vars(self.expression):
+            raise AlgebraError(
+                "ExpressionSetScan expression must be reference-free, got "
+                f"{self.expression}")
+
+    def refs(self) -> tuple[str, ...]:
+        return (self.ref,)
+
+    def describe(self) -> str:
+        return f"expr_set_scan<{self.ref}, {self.expression}>"
+
+
+@dataclass(frozen=True)
+class Filter(PhysicalOperator):
+    """Per-tuple predicate evaluation (may invoke methods per tuple)."""
+
+    condition: Expression
+    input: PhysicalOperator
+    name = "filter"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.input,)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "Filter":
+        (only,) = inputs
+        return Filter(self.condition, only)
+
+    def refs(self) -> tuple[str, ...]:
+        return self.input.refs()
+
+    def describe(self) -> str:
+        return f"filter<{self.condition}>"
+
+
+@dataclass(frozen=True)
+class SetProbeFilter(PhysicalOperator):
+    """Precompute ``set_expression`` once, keep tuples with
+    ``row[ref] ∈ set``."""
+
+    ref: str
+    set_expression: Expression
+    input: PhysicalOperator
+    name = "set_probe"
+
+    def __post_init__(self) -> None:
+        if free_vars(self.set_expression):
+            raise AlgebraError(
+                "SetProbeFilter set expression must be reference-free, got "
+                f"{self.set_expression}")
+        if self.ref not in self.input.refs():
+            raise AlgebraError(
+                f"SetProbeFilter probes unknown reference {self.ref!r}")
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.input,)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "SetProbeFilter":
+        (only,) = inputs
+        return SetProbeFilter(self.ref, self.set_expression, only)
+
+    def refs(self) -> tuple[str, ...]:
+        return self.input.refs()
+
+    def describe(self) -> str:
+        return f"set_probe<{self.ref} IS-IN {self.set_expression}>"
+
+
+@dataclass(frozen=True)
+class NestedLoopJoin(PhysicalOperator):
+    """Nested-loop θ-join; the condition is evaluated per tuple pair."""
+
+    condition: Expression
+    left: PhysicalOperator
+    right: PhysicalOperator
+    name = "nested_loop_join"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "NestedLoopJoin":
+        left, right = inputs
+        return NestedLoopJoin(self.condition, left, right)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.left.refs()) | set(self.right.refs())))
+
+    def describe(self) -> str:
+        return f"nested_loop_join<{self.condition}>"
+
+
+@dataclass(frozen=True)
+class HashJoin(PhysicalOperator):
+    """Equi-join on computed key expressions (build on the right input)."""
+
+    left_key: Expression
+    right_key: Expression
+    left: PhysicalOperator
+    right: PhysicalOperator
+    name = "hash_join"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "HashJoin":
+        left, right = inputs
+        return HashJoin(self.left_key, self.right_key, left, right)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.left.refs()) | set(self.right.refs())))
+
+    def describe(self) -> str:
+        return f"hash_join<{self.left_key} == {self.right_key}>"
+
+
+@dataclass(frozen=True)
+class NaturalMergeJoin(PhysicalOperator):
+    """Natural join on the shared references (hash-based implementation)."""
+
+    left: PhysicalOperator
+    right: PhysicalOperator
+    name = "natural_join_impl"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "NaturalMergeJoin":
+        left, right = inputs
+        return NaturalMergeJoin(left, right)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.left.refs()) | set(self.right.refs())))
+
+    def common_refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.left.refs()) & set(self.right.refs())))
+
+    def describe(self) -> str:
+        return "natural_join_impl"
+
+
+@dataclass(frozen=True)
+class MapEval(PhysicalOperator):
+    """Per-tuple computation of an expression into a new reference."""
+
+    ref: str
+    expression: Expression
+    input: PhysicalOperator
+    name = "map_eval"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.input,)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "MapEval":
+        (only,) = inputs
+        return MapEval(self.ref, self.expression, only)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.input.refs()) | {self.ref}))
+
+    def describe(self) -> str:
+        return f"map_eval<{self.ref}, {self.expression}>"
+
+
+@dataclass(frozen=True)
+class FlattenEval(PhysicalOperator):
+    """Per-tuple evaluation of a set-valued expression, emitting one tuple
+    per element."""
+
+    ref: str
+    expression: Expression
+    input: PhysicalOperator
+    name = "flatten_eval"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.input,)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "FlattenEval":
+        (only,) = inputs
+        return FlattenEval(self.ref, self.expression, only)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.input.refs()) | {self.ref}))
+
+    def describe(self) -> str:
+        return f"flatten_eval<{self.ref}, {self.expression}>"
+
+
+@dataclass(frozen=True)
+class ProjectOp(PhysicalOperator):
+    """Projection with duplicate elimination (set semantics)."""
+
+    kept: tuple[str, ...]
+    input: PhysicalOperator
+    name = "project_impl"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kept", tuple(sorted(set(self.kept))))
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.input,)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "ProjectOp":
+        (only,) = inputs
+        return ProjectOp(self.kept, only)
+
+    def refs(self) -> tuple[str, ...]:
+        return self.kept
+
+    def describe(self) -> str:
+        return f"project_impl<{', '.join(self.kept)}>"
+
+
+@dataclass(frozen=True)
+class UnionOp(PhysicalOperator):
+    """Set union of two inputs over identical references."""
+
+    left: PhysicalOperator
+    right: PhysicalOperator
+    name = "union_impl"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "UnionOp":
+        left, right = inputs
+        return UnionOp(left, right)
+
+    def refs(self) -> tuple[str, ...]:
+        return self.left.refs()
+
+    def describe(self) -> str:
+        return "union_impl"
+
+
+@dataclass(frozen=True)
+class DiffOp(PhysicalOperator):
+    """Set difference of two inputs over identical references."""
+
+    left: PhysicalOperator
+    right: PhysicalOperator
+    name = "diff_impl"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]) -> "DiffOp":
+        left, right = inputs
+        return DiffOp(left, right)
+
+    def refs(self) -> tuple[str, ...]:
+        return self.left.refs()
+
+    def describe(self) -> str:
+        return "diff_impl"
+
+
+def walk_physical(plan: PhysicalOperator):
+    """Yield *plan* and all nodes below it, pre-order."""
+    yield plan
+    for child in plan.inputs():
+        yield from walk_physical(child)

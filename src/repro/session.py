@@ -1,0 +1,161 @@
+"""High-level query session: parse → analyze → translate → optimize → execute.
+
+:class:`Session` is the public entry point a downstream user interacts with.
+It owns a database, a schema-specific optimizer (generated from the
+database's schema and the registered semantic knowledge) and exposes the full
+pipeline as well as each individual stage for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from repro.algebra.operators import LogicalOperator
+from repro.algebra.printer import format_tree
+from repro.algebra.translate import TranslationResult, translate_query
+from repro.datamodel.database import Database
+from repro.errors import ReproError
+from repro.optimizer.generator import OptimizerGenerator
+from repro.optimizer.knowledge import SchemaKnowledge
+from repro.optimizer.search import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerOptions,
+)
+from repro.physical.evaluator import make_hashable
+from repro.physical.executor import Row, execute_plan
+from repro.physical.naive import naive_implementation
+from repro.physical.plans import PhysicalOperator
+from repro.vql.analyzer import AnalyzedQuery, analyze_query
+from repro.vql.ast import Query
+from repro.vql.parser import parse_query
+
+__all__ = ["QueryResult", "Session"]
+
+QueryLike = Union[str, Query]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one query."""
+
+    rows: list[Row]
+    output_ref: str
+    physical_plan: PhysicalOperator
+    logical_plan: LogicalOperator
+    optimization: Optional[OptimizationResult] = None
+    work: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def values(self) -> list[Any]:
+        """The values of the query's output reference, in row order."""
+        return [row.get(self.output_ref) for row in self.rows]
+
+    def value_set(self) -> set[Any]:
+        """The output values as a set (hashable representations)."""
+        return {make_hashable(value) for value in self.values}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Session:
+    """A connection-like object bundling a database with its optimizer."""
+
+    def __init__(self, database: Database,
+                 knowledge: Optional[SchemaKnowledge] = None,
+                 optimizer: Optional[Optimizer] = None,
+                 options: Optional[OptimizerOptions] = None,
+                 exclude_tags: Sequence[str] = ()):
+        self.database = database
+        self.schema = database.schema
+        self.knowledge = knowledge or SchemaKnowledge(self.schema)
+        self._generator = OptimizerGenerator(self.schema, self.knowledge,
+                                             options=options)
+        if optimizer is not None:
+            self.optimizer = optimizer
+        else:
+            self.optimizer = self._generator.generate(
+                database=database, exclude_tags=exclude_tags, options=options)
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def parse(self, query: QueryLike) -> Query:
+        if isinstance(query, Query):
+            return query
+        return parse_query(query)
+
+    def analyze(self, query: QueryLike) -> AnalyzedQuery:
+        return analyze_query(self.parse(query), self.schema)
+
+    def translate(self, query: QueryLike) -> TranslationResult:
+        return translate_query(self.analyze(query))
+
+    def optimize(self, query: QueryLike) -> OptimizationResult:
+        translation = self.translate(query)
+        return self.optimizer.optimize(translation.plan)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: QueryLike, optimize: bool = True) -> QueryResult:
+        """Run the full pipeline and return the result rows.
+
+        With ``optimize=False`` the canonical logical plan is lowered
+        one-to-one to physical operators (the paper's "straightforward
+        evaluation"), which is the baseline the benchmarks compare against.
+        """
+        translation = self.translate(query)
+        optimization: Optional[OptimizationResult] = None
+        if optimize:
+            optimization = self.optimizer.optimize(translation.plan)
+            physical = optimization.best_plan
+        else:
+            physical = naive_implementation(translation.plan)
+
+        before = self.database.work_snapshot()
+        rows = execute_plan(physical, self.database)
+        after = self.database.work_snapshot()
+        work = {key: after[key] - before.get(key, 0.0) for key in after}
+
+        return QueryResult(
+            rows=rows,
+            output_ref=translation.output_ref,
+            physical_plan=physical,
+            logical_plan=translation.plan,
+            optimization=optimization,
+            work=work)
+
+    def execute_naive(self, query: QueryLike) -> QueryResult:
+        """Shorthand for ``execute(query, optimize=False)``."""
+        return self.execute(query, optimize=False)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def explain(self, query: QueryLike) -> str:
+        """Describe how the query would be evaluated, without executing it."""
+        translation = self.translate(query)
+        optimization = self.optimizer.optimize(translation.plan)
+        lines = [
+            "query:",
+            _indent(str(self.parse(query))),
+            "canonical logical plan:",
+            _indent(format_tree(translation.plan)),
+            optimization.explain(),
+        ]
+        return "\n".join(lines)
+
+    def trace(self, query: QueryLike, limit: Optional[int] = 50) -> str:
+        """Render the optimization trace (the Section 7 demonstrator)."""
+        optimization = self.optimize(query)
+        return optimization.trace.render(limit=limit)
+
+    def __str__(self) -> str:
+        return f"Session({self.database}, knowledge={len(self.knowledge)})"
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

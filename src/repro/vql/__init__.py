@@ -1,0 +1,34 @@
+"""VQL — the declarative query language front-end.
+
+Exports the parser (:func:`parse_query`, :func:`parse_expression`), the AST
+(:class:`Query`, :class:`RangeDeclaration`) and the analyzer
+(:func:`analyze_query`, :class:`AnalyzedQuery`).
+"""
+
+from repro.vql.analyzer import (
+    AnalyzedQuery,
+    Analyzer,
+    analyze_query,
+    class_of_type,
+    infer_expression_type,
+    resolve_class_references,
+)
+from repro.vql.ast import Query, RangeDeclaration
+from repro.vql.lexer import Token, tokenize
+from repro.vql.parser import Parser, parse_expression, parse_query
+
+__all__ = [
+    "AnalyzedQuery",
+    "Analyzer",
+    "analyze_query",
+    "class_of_type",
+    "infer_expression_type",
+    "resolve_class_references",
+    "Query",
+    "RangeDeclaration",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_query",
+]

@@ -1,0 +1,309 @@
+"""Semantic analysis of parsed VQL queries.
+
+The analyzer resolves identifiers against the schema and type-checks the
+query:
+
+* a range source that is a bare identifier naming a class becomes a
+  :class:`~repro.algebra.expressions.ClassExtent`;
+* a method call whose receiver is a bare class name becomes a
+  :class:`~repro.algebra.expressions.ClassMethodCall` (class/OWNTYPE method);
+* every property access and method call is checked against the schema and
+  the static type of every range variable is inferred, including dependent
+  ranges (``p IN d->paragraphs()``).
+
+The result is an :class:`AnalyzedQuery` carrying the rewritten query and the
+typing environment, which the algebra translator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    ClassExtent,
+    ClassMethodCall,
+    Const,
+    Expression,
+    MethodCall,
+    PropertyAccess,
+    SetConstructor,
+    TupleConstructor,
+    UnaryOp,
+    Var,
+)
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import (
+    ANY,
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    ObjectType,
+    SetType,
+    TupleType,
+    VMLType,
+    infer_type,
+)
+from repro.errors import MethodResolutionError, SchemaError, VQLAnalysisError
+from repro.vql.ast import Query, RangeDeclaration
+
+__all__ = ["AnalyzedQuery", "Analyzer", "analyze_query", "infer_expression_type",
+           "resolve_class_references", "class_of_type"]
+
+
+@dataclass
+class AnalyzedQuery:
+    """A type-checked query plus its typing environment."""
+
+    query: Query
+    variable_types: dict[str, VMLType] = field(default_factory=dict)
+
+    def variable_class(self, variable: str) -> Optional[str]:
+        """The class a range variable ranges over, if it is object-valued."""
+        return class_of_type(self.variable_types.get(variable, ANY))
+
+
+def class_of_type(vml_type: VMLType) -> Optional[str]:
+    """Extract the class name from an object type or a set of object type."""
+    if isinstance(vml_type, ObjectType):
+        return vml_type.class_name
+    if isinstance(vml_type, SetType) and isinstance(vml_type.element, ObjectType):
+        return vml_type.element.class_name
+    return None
+
+
+def analyze_query(query: Query, schema: Schema,
+                  parameters: Optional[Mapping[str, VMLType]] = None
+                  ) -> AnalyzedQuery:
+    """Convenience wrapper around :class:`Analyzer`.
+
+    *parameters* pre-binds free variables (with their types) that are not
+    range variables; this is how parametrized queries — such as the query
+    side of a query↔method-call equivalence — are analyzed.
+    """
+    return Analyzer(schema, parameters=parameters).analyze(query)
+
+
+def resolve_class_references(expr: Expression, schema: Schema,
+                             bound_variables: set[str]) -> Expression:
+    """Rewrite bare class-name identifiers into class-level nodes.
+
+    ``Var("Document")`` becomes ``ClassExtent("Document")`` and
+    ``MethodCall(Var("Document"), m, args)`` becomes
+    ``ClassMethodCall("Document", m, args)`` whenever ``Document`` names a
+    schema class that is not shadowed by a range variable.
+    """
+    if isinstance(expr, Var):
+        if expr.name not in bound_variables and schema.has_class(expr.name):
+            return ClassExtent(expr.name)
+        return expr
+    if isinstance(expr, MethodCall):
+        receiver = resolve_class_references(expr.receiver, schema, bound_variables)
+        args = tuple(resolve_class_references(a, schema, bound_variables)
+                     for a in expr.args)
+        if isinstance(receiver, ClassExtent):
+            return ClassMethodCall(receiver.class_name, expr.method, args)
+        return MethodCall(receiver, expr.method, args)
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [resolve_class_references(child, schema, bound_variables)
+                    for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expr
+    return expr.rebuild(new_children)
+
+
+def infer_expression_type(expr: Expression, env: Mapping[str, VMLType],
+                          schema: Schema) -> VMLType:
+    """Infer the static VML type of *expr* under the typing environment.
+
+    The inference follows the paper's conventions: property access lifted
+    over a set yields the (flattened) union of the member values, so a
+    set-typed base with a set-typed property still yields one level of set.
+    """
+    if isinstance(expr, Const):
+        return infer_type(expr.value)
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise VQLAnalysisError(f"unbound variable {expr.name!r}")
+        return env[expr.name]
+    if isinstance(expr, ClassExtent):
+        if not schema.has_class(expr.class_name):
+            raise VQLAnalysisError(f"unknown class {expr.class_name!r}")
+        return SetType(ObjectType(expr.class_name))
+    if isinstance(expr, PropertyAccess):
+        base_type = infer_expression_type(expr.base, env, schema)
+        return _property_result_type(base_type, expr.prop, schema)
+    if isinstance(expr, MethodCall):
+        return _method_result_type(expr, env, schema)
+    if isinstance(expr, ClassMethodCall):
+        return _class_method_result_type(expr, env, schema)
+    if isinstance(expr, BinaryOp):
+        return _binary_result_type(expr, env, schema)
+    if isinstance(expr, UnaryOp):
+        operand_type = infer_expression_type(expr.operand, env, schema)
+        return BOOL if expr.op == "NOT" else operand_type
+    if isinstance(expr, TupleConstructor):
+        components = tuple(
+            (name, infer_expression_type(value, env, schema))
+            for name, value in expr.fields)
+        return TupleType(components)
+    if isinstance(expr, SetConstructor):
+        if not expr.elements:
+            return SetType(ANY)
+        element_types = {infer_expression_type(e, env, schema)
+                         for e in expr.elements}
+        if len(element_types) == 1:
+            return SetType(element_types.pop())
+        return SetType(ANY)
+    return ANY
+
+
+def _property_result_type(base_type: VMLType, prop: str,
+                          schema: Schema) -> VMLType:
+    lifted = False
+    target = base_type
+    if isinstance(target, SetType):
+        lifted = True
+        target = target.element
+    class_name = target.class_name if isinstance(target, ObjectType) else None
+    if class_name is None:
+        return ANY
+    try:
+        prop_def = schema.resolve_property(class_name, prop)
+    except SchemaError as exc:
+        raise VQLAnalysisError(str(exc)) from exc
+    result = prop_def.vml_type
+    if lifted:
+        # Lifting over a set flattens one level: D.sections is a set of
+        # sections even though each document stores a set.
+        if isinstance(result, SetType):
+            return result
+        return SetType(result)
+    return result
+
+
+def _method_result_type(expr: MethodCall, env: Mapping[str, VMLType],
+                        schema: Schema) -> VMLType:
+    receiver_type = infer_expression_type(expr.receiver, env, schema)
+    lifted = isinstance(receiver_type, SetType)
+    target = receiver_type.element if lifted else receiver_type
+    class_name = target.class_name if isinstance(target, ObjectType) else None
+    if class_name is None:
+        return ANY
+    try:
+        method = schema.resolve_instance_method(class_name, expr.method)
+    except MethodResolutionError as exc:
+        raise VQLAnalysisError(str(exc)) from exc
+    if len(expr.args) != method.arity:
+        raise VQLAnalysisError(
+            f"method {class_name}.{expr.method} expects {method.arity} "
+            f"argument(s), got {len(expr.args)}")
+    result = method.return_type
+    if lifted:
+        if isinstance(result, SetType):
+            return result
+        return SetType(result)
+    return result
+
+
+def _class_method_result_type(expr: ClassMethodCall, env: Mapping[str, VMLType],
+                              schema: Schema) -> VMLType:
+    if not schema.has_class(expr.class_name):
+        raise VQLAnalysisError(f"unknown class {expr.class_name!r}")
+    try:
+        method = schema.resolve_class_method(expr.class_name, expr.method)
+    except MethodResolutionError as exc:
+        raise VQLAnalysisError(str(exc)) from exc
+    if len(expr.args) != method.arity:
+        raise VQLAnalysisError(
+            f"class method {expr.class_name}.{expr.method} expects "
+            f"{method.arity} argument(s), got {len(expr.args)}")
+    return method.return_type
+
+
+def _binary_result_type(expr: BinaryOp, env: Mapping[str, VMLType],
+                        schema: Schema) -> VMLType:
+    left = infer_expression_type(expr.left, env, schema)
+    right = infer_expression_type(expr.right, env, schema)
+    if expr.op in ("AND", "OR") or expr.op in ("==", "!=", "<", "<=", ">", ">=",
+                                               "IS-IN", "IS-SUBSET"):
+        return BOOL
+    if expr.op in ("INTERSECT", "UNION", "DIFF"):
+        return left if isinstance(left, SetType) else right
+    if expr.op in ("+", "-", "*", "/"):
+        if left == REAL or right == REAL or expr.op == "/":
+            return REAL
+        if left == INT and right == INT:
+            return INT
+        if left == STRING and expr.op == "+":
+            return STRING
+        return ANY
+    return ANY
+
+
+class Analyzer:
+    """Performs resolution and type checking of one query at a time."""
+
+    def __init__(self, schema: Schema,
+                 parameters: Optional[Mapping[str, VMLType]] = None):
+        self.schema = schema
+        self.parameters = dict(parameters) if parameters else {}
+
+    def analyze(self, query: Query) -> AnalyzedQuery:
+        variable_types: dict[str, VMLType] = dict(self.parameters)
+        resolved_ranges: list[RangeDeclaration] = []
+
+        for declaration in query.ranges:
+            if declaration.variable in variable_types:
+                raise VQLAnalysisError(
+                    f"range variable {declaration.variable!r} declared twice")
+            source = resolve_class_references(
+                declaration.source, self.schema, set(variable_types))
+            unbound = [name for name in _free_variable_names(source)
+                       if name not in variable_types]
+            if unbound:
+                raise VQLAnalysisError(
+                    f"range source for {declaration.variable!r} uses unbound "
+                    f"variable(s) {', '.join(sorted(unbound))}")
+            source_type = infer_expression_type(source, variable_types, self.schema)
+            variable_types[declaration.variable] = self._element_type(
+                declaration.variable, source_type)
+            resolved_ranges.append(
+                RangeDeclaration(declaration.variable, source))
+
+        bound = set(variable_types)
+        access = resolve_class_references(query.access, self.schema, bound)
+        where = None
+        if query.where is not None:
+            where = resolve_class_references(query.where, self.schema, bound)
+
+        # Type-check the clauses (raises on unknown members / arity errors).
+        infer_expression_type(access, variable_types, self.schema)
+        if where is not None:
+            where_type = infer_expression_type(where, variable_types, self.schema)
+            if where_type not in (BOOL, ANY):
+                raise VQLAnalysisError(
+                    f"WHERE clause must be boolean, got {where_type}")
+
+        analyzed = AnalyzedQuery(
+            query=Query(access=access, ranges=tuple(resolved_ranges), where=where),
+            variable_types=variable_types)
+        return analyzed
+
+    @staticmethod
+    def _element_type(variable: str, source_type: VMLType) -> VMLType:
+        if isinstance(source_type, SetType):
+            return source_type.element
+        if source_type == ANY:
+            return ANY
+        raise VQLAnalysisError(
+            f"range source for {variable!r} is not set-valued ({source_type})")
+
+
+def _free_variable_names(expr: Expression) -> set[str]:
+    from repro.algebra.expressions import free_vars
+    return free_vars(expr)

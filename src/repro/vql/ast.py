@@ -1,0 +1,72 @@
+"""VQL abstract syntax tree.
+
+A VQL query has the shape (Section 2.2 of the paper)::
+
+    ACCESS expr(x1,...,xn)
+    FROM x1 IN S1, ..., xn IN Sn
+    WHERE cond(x1,...,xn)
+
+Range sources ``Si`` are either class names or expressions over previously
+declared range variables (dependent ranges such as
+``p IN d->paragraphs()``).  Expression nodes are shared with the query
+algebra (:mod:`repro.algebra.expressions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.algebra.expressions import (
+    ClassExtent,
+    Expression,
+    free_vars,
+)
+
+__all__ = ["RangeDeclaration", "Query"]
+
+
+@dataclass(frozen=True)
+class RangeDeclaration:
+    """One ``x IN source`` entry of the FROM clause."""
+
+    variable: str
+    source: Expression
+
+    def is_class_range(self) -> bool:
+        """True when the source is a plain class extension."""
+        return isinstance(self.source, ClassExtent)
+
+    def depends_on(self) -> set[str]:
+        """Names of range variables this declaration depends on."""
+        if self.is_class_range():
+            return set()
+        return free_vars(self.source)
+
+    def __str__(self) -> str:
+        return f"{self.variable} IN {self.source}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete VQL query."""
+
+    access: Expression
+    ranges: tuple[RangeDeclaration, ...]
+    where: Optional[Expression] = None
+
+    @property
+    def range_variables(self) -> tuple[str, ...]:
+        return tuple(decl.variable for decl in self.ranges)
+
+    def range_for(self, variable: str) -> RangeDeclaration:
+        for decl in self.ranges:
+            if decl.variable == variable:
+                return decl
+        raise KeyError(variable)
+
+    def __str__(self) -> str:
+        text = f"ACCESS {self.access}\nFROM " + ", ".join(str(r) for r in self.ranges)
+        if self.where is not None:
+            text += f"\nWHERE {self.where}"
+        return text

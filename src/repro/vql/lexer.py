@@ -1,0 +1,169 @@
+"""Tokenizer for VQL query text.
+
+The lexer recognises the subset of VQL exercised by the paper: keywords
+(ACCESS, FROM, WHERE, IN, IS-IN, IS-SUBSET, AND, OR, NOT, TRUE, FALSE,
+INTERSECTION, UNION, DIFFERENCE), identifiers, string and numeric literals,
+the method-call arrow (``->`` or the typographic ``→``), path dots, brackets
+and the comparison/arithmetic operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import VQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "ACCESS", "FROM", "WHERE", "IN", "AND", "OR", "NOT", "TRUE", "FALSE",
+    "INTERSECTION", "UNION", "DIFFERENCE", "IS",
+}
+
+#: multi-character operators, longest first so prefixes do not shadow them
+_MULTI_CHAR = ["==", "!=", "<=", ">=", "->"]
+_SINGLE_CHAR = list("()[]{}.,:<>+-*/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position for error reporting."""
+
+    kind: str          # KEYWORD, IDENT, STRING, NUMBER, OP, EOF
+    text: str
+    position: int
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "OP" and self.text == op
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, raising :class:`VQLSyntaxError` on illegal input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def make(kind: str, token_text: str) -> Token:
+        return Token(kind, token_text, position, line, column)
+
+    while position < length:
+        char = text[position]
+
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        # comments: /* ... */ (VML style) and -- to end of line
+        if text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end < 0:
+                raise VQLSyntaxError("unterminated comment", position, line, column)
+            skipped = text[position:end + 2]
+            line += skipped.count("\n")
+            position = end + 2
+            continue
+        if text.startswith("--", position):
+            end = text.find("\n", position)
+            position = length if end < 0 else end
+            continue
+
+        # the typographic arrow used in the paper
+        if char == "→":
+            yield make("OP", "->")
+            position += 1
+            column += 1
+            continue
+
+        if char in "'\"":
+            end = position + 1
+            while end < length and text[end] != char:
+                end += 1
+            if end >= length:
+                raise VQLSyntaxError("unterminated string literal",
+                                     position, line, column)
+            literal = text[position + 1:end]
+            yield make("STRING", literal)
+            column += end + 1 - position
+            position = end + 1
+            continue
+
+        if char.isdigit():
+            end = position
+            seen_dot = False
+            while end < length and (text[end].isdigit() or
+                                    (text[end] == "." and not seen_dot and
+                                     end + 1 < length and text[end + 1].isdigit())):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            literal = text[position:end]
+            yield make("NUMBER", literal)
+            column += end - position
+            position = end
+            continue
+
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            upper = word.upper()
+            # IS-IN / IS-SUBSET are hyphenated keywords; join them here so the
+            # parser sees a single operator token.
+            if upper == "IS" and text[end:end + 1] == "-":
+                rest_end = end + 1
+                while rest_end < length and (text[rest_end].isalnum() or text[rest_end] == "_"):
+                    rest_end += 1
+                rest = text[end + 1:rest_end].upper()
+                if rest in ("IN", "SUBSET"):
+                    yield make("OP", f"IS-{rest}")
+                    column += rest_end - position
+                    position = rest_end
+                    continue
+            if upper in KEYWORDS:
+                yield make("KEYWORD", upper)
+            else:
+                yield make("IDENT", word)
+            column += end - position
+            position = end
+            continue
+
+        matched = False
+        for op in _MULTI_CHAR:
+            if text.startswith(op, position):
+                yield make("OP", op)
+                position += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if char in _SINGLE_CHAR:
+            yield make("OP", char)
+            position += 1
+            column += 1
+            continue
+
+        raise VQLSyntaxError(f"illegal character {char!r}", position, line, column)
+
+    yield Token("EOF", "", position, line, column)

@@ -1,0 +1,282 @@
+"""Recursive-descent parser for VQL.
+
+Produces the raw AST; class-name resolution (distinguishing range variables
+from class objects) is left to the analyzer because it requires the schema.
+
+Besides full ``ACCESS ... FROM ... WHERE ...`` queries the module also parses
+standalone expressions (``parse_expression``), which is how schema designers
+write down the semantic knowledge of Section 4.2
+(e.g. ``"p->document()" ≡ "p.section.document"``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    Const,
+    Expression,
+    MethodCall,
+    PropertyAccess,
+    SetConstructor,
+    TupleConstructor,
+    UnaryOp,
+    Var,
+)
+from repro.errors import VQLSyntaxError
+from repro.vql.ast import Query, RangeDeclaration
+from repro.vql.lexer import Token, tokenize
+
+__all__ = ["parse_query", "parse_expression", "Parser"]
+
+#: set-valued binary operators allowed in expressions (plan-level operators)
+_SET_OPS = {"INTERSECTION": "INTERSECT", "UNION": "UNION", "DIFFERENCE": "DIFF"}
+
+
+def parse_query(text: str) -> Query:
+    """Parse a complete VQL query."""
+    parser = Parser(text)
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone VQL expression (used for semantic knowledge)."""
+    parser = Parser(text)
+    expr = parser.parse_expression()
+    parser.expect_eof()
+    return expr
+
+
+class Parser:
+    """Hand-written recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def check_keyword(self, word: str) -> bool:
+        return self.current.is_keyword(word)
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.check_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.check_keyword(word):
+            raise self._error(f"expected keyword {word}")
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise self._error(f"expected {op!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "IDENT":
+            raise self._error("expected identifier")
+        return self.advance()
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "EOF":
+            raise self._error("unexpected trailing input")
+
+    def _error(self, message: str) -> VQLSyntaxError:
+        token = self.current
+        found = token.text or "<end of input>"
+        return VQLSyntaxError(f"{message}, found {found!r}",
+                              token.position, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # grammar: query
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        self.expect_keyword("ACCESS")
+        access = self.parse_expression()
+        self.expect_keyword("FROM")
+        ranges = [self._parse_range()]
+        while self.accept_op(","):
+            ranges.append(self._parse_range())
+        where: Optional[Expression] = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return Query(access=access, ranges=tuple(ranges), where=where)
+
+    def _parse_range(self) -> RangeDeclaration:
+        variable = self.expect_ident().text
+        self.expect_keyword("IN")
+        source = self.parse_expression()
+        return RangeDeclaration(variable=variable, source=source)
+
+    # ------------------------------------------------------------------
+    # grammar: expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.check_keyword("OR"):
+            self.advance()
+            right = self._parse_and()
+            left = BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self.check_keyword("AND"):
+            self.advance()
+            right = self._parse_not()
+            left = BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self.check_keyword("NOT"):
+            self.advance()
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_set_op()
+        for op in ("==", "!=", "<=", ">=", "<", ">", "IS-IN", "IS-SUBSET"):
+            if self.current.is_op(op):
+                self.advance()
+                right = self._parse_set_op()
+                return BinaryOp(op, left, right)
+        return left
+
+    def _parse_set_op(self) -> Expression:
+        left = self._parse_additive()
+        while self.current.kind == "KEYWORD" and self.current.text in _SET_OPS:
+            op = _SET_OPS[self.advance().text]
+            right = self._parse_additive()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self.current.is_op("+") or self.current.is_op("-"):
+            op = self.advance().text
+            right = self._parse_multiplicative()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self.current.is_op("*") or self.current.is_op("/"):
+            op = self.advance().text
+            right = self._parse_unary()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self.current.is_op("-"):
+            self.advance()
+            operand = self._parse_unary()
+            # Fold negative numeric literals so that "-1" is the constant -1
+            # (keeps printing/parsing round-trips structural).
+            if isinstance(operand, Const) and isinstance(operand.value, (int, float)) \
+                    and not isinstance(operand.value, bool):
+                return Const(-operand.value)
+            return UnaryOp("-", operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expression:
+        expr = self._parse_primary()
+        while True:
+            if self.current.is_op("."):
+                self.advance()
+                prop = self.expect_ident().text
+                expr = PropertyAccess(expr, prop)
+            elif self.current.is_op("->"):
+                self.advance()
+                method = self.expect_ident().text
+                self.expect_op("(")
+                args: list[Expression] = []
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expression())
+                    while self.accept_op(","):
+                        args.append(self.parse_expression())
+                self.expect_op(")")
+                expr = MethodCall(expr, method, tuple(args))
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.text)
+        if token.kind == "NUMBER":
+            self.advance()
+            if "." in token.text:
+                return Const(float(token.text))
+            return Const(int(token.text))
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Const(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Const(False)
+        if token.kind == "IDENT":
+            self.advance()
+            return Var(token.text)
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_op(")")
+            return inner
+        if token.is_op("["):
+            return self._parse_tuple_constructor()
+        if token.is_op("{"):
+            return self._parse_set_constructor()
+        raise self._error("expected expression")
+
+    def _parse_tuple_constructor(self) -> Expression:
+        self.expect_op("[")
+        fields: list[tuple[str, Expression]] = []
+        if not self.current.is_op("]"):
+            fields.append(self._parse_tuple_field())
+            while self.accept_op(","):
+                fields.append(self._parse_tuple_field())
+        self.expect_op("]")
+        return TupleConstructor(tuple(fields))
+
+    def _parse_tuple_field(self) -> tuple[str, Expression]:
+        name = self.expect_ident().text
+        self.expect_op(":")
+        return name, self.parse_expression()
+
+    def _parse_set_constructor(self) -> Expression:
+        self.expect_op("{")
+        elements: list[Expression] = []
+        if not self.current.is_op("}"):
+            elements.append(self.parse_expression())
+            while self.accept_op(","):
+                elements.append(self.parse_expression())
+        self.expect_op("}")
+        return SetConstructor(tuple(elements))

@@ -1,0 +1,123 @@
+"""The query workload used by examples, tests and benchmarks.
+
+Every query of the paper's running example appears here, plus a few
+additional queries exercising the remaining language features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.documents import QUERY_TERM, TARGET_TITLE
+from repro.workloads.schema_library import DEFAULT_LARGE_PARAGRAPH_THRESHOLD
+
+__all__ = [
+    "WorkloadQuery",
+    "motivating_query",
+    "contains_only_query",
+    "title_only_query",
+    "same_document_join_query",
+    "large_paragraph_query",
+    "dependent_range_query",
+    "tuple_access_query",
+    "document_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """A named query with a short description of what it exercises."""
+
+    name: str
+    text: str
+    description: str = ""
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def motivating_query(term: str = QUERY_TERM,
+                     title: str = TARGET_TITLE) -> WorkloadQuery:
+    """The paper's query Q (Section 2.3): paragraphs containing *term* in the
+    document titled *title*."""
+    return WorkloadQuery(
+        name="Q-motivating",
+        text=(
+            "ACCESS p FROM p IN Paragraph "
+            f"WHERE p->contains_string('{term}') "
+            f"AND (p->document()).title == '{title}'"),
+        description="the worked example Q; optimizable to plan PQ using E1-E5")
+
+
+def contains_only_query(term: str = QUERY_TERM) -> WorkloadQuery:
+    """Selection by the external contains_string method only (E5 target)."""
+    return WorkloadQuery(
+        name="Q-contains",
+        text=("ACCESS p FROM p IN Paragraph "
+              f"WHERE p->contains_string('{term}')"),
+        description="σ over an expensive external method; E5 rewrites it to "
+                    "one retrieve_by_string call")
+
+
+def title_only_query(title: str = TARGET_TITLE) -> WorkloadQuery:
+    """Paragraphs of the document with the given title (E1-E4 targets)."""
+    return WorkloadQuery(
+        name="Q-title",
+        text=("ACCESS p FROM p IN Paragraph "
+              f"WHERE (p->document()).title == '{title}'"),
+        description="path-method + title equality; E1-E4 rewrite it to an "
+                    "index lookup followed by inverse-link navigation")
+
+
+def same_document_join_query() -> WorkloadQuery:
+    """Example 1 of the paper: a join through a parametrized method."""
+    return WorkloadQuery(
+        name="Q-same-document",
+        text=("ACCESS [pn: p.number, qn: q.number] "
+              "FROM p IN Paragraph, q IN Paragraph "
+              "WHERE p->sameDocument(q)"),
+        description="method call as join predicate; J1 turns it into an "
+                    "attribute equi-join evaluable by hash join")
+
+
+def large_paragraph_query(threshold: int = DEFAULT_LARGE_PARAGRAPH_THRESHOLD
+                          ) -> WorkloadQuery:
+    """The implication example of Section 4.2."""
+    return WorkloadQuery(
+        name="Q-large-paragraphs",
+        text=("ACCESS p FROM p IN Paragraph "
+              f"WHERE p->wordCount() > {threshold}"),
+        description="expensive per-paragraph predicate; I1 adds the "
+                    "precomputed largeParagraphs restriction")
+
+
+def dependent_range_query(term: str = QUERY_TERM) -> WorkloadQuery:
+    """Example 2 of the paper: a method in the FROM clause."""
+    return WorkloadQuery(
+        name="Q-dependent-range",
+        text=("ACCESS d.title "
+              "FROM d IN Document, p IN d->paragraphs() "
+              f"WHERE p->contains_string('{term}')"),
+        description="dependent range variable produced by a method call")
+
+
+def tuple_access_query() -> WorkloadQuery:
+    """Example 3 of the paper: methods in the ACCESS clause."""
+    return WorkloadQuery(
+        name="Q-tuple-access",
+        text="ACCESS [doc: d.title, paras: d->paragraphs()] FROM d IN Document",
+        description="tuple constructor and method call in the ACCESS clause")
+
+
+def document_workload() -> list[WorkloadQuery]:
+    """All document-schema queries, used by the expressive-power and
+    optimizer-overhead experiments."""
+    return [
+        motivating_query(),
+        contains_only_query(),
+        title_only_query(),
+        same_document_join_query(),
+        large_paragraph_query(),
+        dependent_range_query(),
+        tuple_access_query(),
+    ]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (synthetic databases, sessions with generated
+optimizers) are session-scoped; tests must not mutate them.  Tests that need
+a mutable database build their own small one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel.database import Database
+from repro.optimizer.knowledge import SchemaKnowledge
+from repro.session import Session
+from repro.workloads import (
+    document_knowledge,
+    document_schema,
+    generate_document_database,
+)
+from repro.workloads.university import (
+    generate_university_database,
+    university_knowledge,
+)
+
+
+@pytest.fixture(scope="session")
+def doc_schema():
+    """The paper's Document/Section/Paragraph schema."""
+    return document_schema()
+
+
+@pytest.fixture(scope="session")
+def doc_database() -> Database:
+    """A small synthetic document database (8 documents, 160 paragraphs)."""
+    return generate_document_database(n_documents=8)
+
+
+@pytest.fixture(scope="session")
+def doc_knowledge(doc_database) -> SchemaKnowledge:
+    return document_knowledge(doc_database.schema)
+
+
+@pytest.fixture(scope="session")
+def doc_session(doc_database, doc_knowledge) -> Session:
+    """A session on the document database with full semantic knowledge."""
+    return Session(doc_database, knowledge=doc_knowledge)
+
+
+@pytest.fixture(scope="session")
+def structural_session(doc_database, doc_knowledge) -> Session:
+    """A session whose optimizer has only the predefined structural rules."""
+    return Session(doc_database, knowledge=doc_knowledge,
+                   exclude_tags=("semantic",))
+
+
+@pytest.fixture(scope="session")
+def uni_database() -> Database:
+    return generate_university_database(n_departments=4,
+                                        students_per_department=20)
+
+
+@pytest.fixture(scope="session")
+def uni_session(uni_database) -> Session:
+    return Session(uni_database,
+                   knowledge=university_knowledge(uni_database.schema))
+
+
+@pytest.fixture()
+def fresh_doc_database() -> Database:
+    """A tiny, mutable document database for tests that write."""
+    return generate_document_database(n_documents=2)

@@ -1,0 +1,251 @@
+"""Tests for the cost model, the search engine, the optimizer generator and
+the optimization trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import Const
+from repro.algebra.operators import Get, Join, Project, Select
+from repro.errors import OptimizerError
+from repro.optimizer.builtin_rules import standard_rules
+from repro.optimizer.cost import CostModel
+from repro.optimizer.generator import OptimizerGenerator
+from repro.optimizer.knowledge import SchemaKnowledge
+from repro.optimizer.rules import RuleSet
+from repro.optimizer.search import Optimizer, OptimizerOptions
+from repro.optimizer.statistics import OptimizerStatistics
+from repro.optimizer.trace import OptimizationTrace
+from repro.physical.plans import (
+    ClassScan,
+    ExpressionSetScan,
+    Filter,
+    HashJoin,
+    NestedLoopJoin,
+    SetProbeFilter,
+    walk_physical,
+)
+from repro.vql.analyzer import resolve_class_references
+from repro.vql.parser import parse_expression
+
+GET_P = Get("p", "Paragraph")
+GET_D = Get("d", "Document")
+
+
+@pytest.fixture()
+def cost_model(doc_database):
+    return CostModel(doc_database.schema, doc_database)
+
+
+class TestCostModel:
+    def test_class_scan_cardinality_uses_extension_size(self, cost_model,
+                                                        doc_database):
+        estimate = cost_model.estimate(ClassScan("p", "Paragraph"))
+        assert estimate.cardinality == doc_database.extension_size("Paragraph")
+        assert estimate.cost > 0
+
+    def test_extension_size_without_database_uses_default(self, doc_schema):
+        model = CostModel(doc_schema, database=None)
+        assert model.extension_size("Paragraph") == CostModel.DEFAULT_EXTENSION_SIZE
+
+    def test_external_method_filter_is_expensive(self, cost_model, doc_database):
+        scan = ClassScan("p", "Paragraph")
+        cheap = Filter(parse_expression("p.number == 1"), scan)
+        expensive = Filter(parse_expression("p->contains_string('x')"), scan)
+        assert cost_model.estimate(expensive).cost > cost_model.estimate(cheap).cost
+
+    def test_expression_set_scan_cheaper_than_external_filter(self, cost_model,
+                                                              doc_database):
+        member = resolve_class_references(
+            parse_expression("Paragraph->retrieve_by_string('x')"),
+            doc_database.schema, set())
+        scan_all = Filter(parse_expression("p->contains_string('x')"),
+                          ClassScan("p", "Paragraph"))
+        direct = ExpressionSetScan("p", member)
+        assert cost_model.estimate(direct).cost < cost_model.estimate(scan_all).cost
+
+    def test_hash_join_cheaper_than_nested_loop(self, cost_model):
+        left = ClassScan("p", "Paragraph")
+        right = ClassScan("q", "Paragraph")
+        condition = parse_expression("p.section == q.section")
+        nested = NestedLoopJoin(condition, left, right)
+        hashed = HashJoin(parse_expression("p.section"),
+                          parse_expression("q.section"), left, right)
+        assert cost_model.estimate(hashed).cost < cost_model.estimate(nested).cost
+
+    def test_filter_selectivity_reduces_cardinality(self, cost_model):
+        scan = ClassScan("p", "Paragraph")
+        filtered = Filter(parse_expression("p.number == 1"), scan)
+        assert cost_model.estimate(filtered).cardinality < \
+            cost_model.estimate(scan).cardinality
+
+    def test_conjunction_is_more_selective(self, cost_model):
+        scan = ClassScan("p", "Paragraph")
+        one = Filter(parse_expression("p.number == 1"), scan)
+        two = Filter(parse_expression("p.number == 1 AND p.number == 2"), scan)
+        assert cost_model.estimate(two).cardinality < \
+            cost_model.estimate(one).cardinality
+
+    def test_property_fanout_measured_from_database(self, cost_model):
+        fanout = cost_model.property_fanout("Document", "sections")
+        assert fanout == pytest.approx(4.0)
+        assert cost_model.property_fanout("Section", "paragraphs") == pytest.approx(5.0)
+
+    def test_method_cost_lookup(self, cost_model):
+        assert cost_model.method_cost("contains_string") == 25.0
+        assert cost_model.method_cost("unknown_method") == CostModel.DEFAULT_METHOD_COST
+
+    def test_method_result_cardinality_hint(self, cost_model):
+        assert cost_model.method_result_cardinality("select_by_index") == 2.0
+        assert cost_model.method_result_cardinality("document") == 1.0
+
+    def test_expression_cardinality_of_navigation(self, cost_model, doc_database):
+        expr = resolve_class_references(
+            parse_expression("Document->select_by_index('t').sections.paragraphs"),
+            doc_database.schema, set())
+        cardinality = cost_model.expression_cardinality(expr)
+        # 2 documents (hint) x 4 sections x 5 paragraphs
+        assert cardinality == pytest.approx(40.0)
+
+    def test_selectivity_bounds(self, cost_model):
+        condition = parse_expression("p.number == 1 OR p.number == 2")
+        assert 0.0 < cost_model.condition_selectivity(condition, 100) <= 1.0
+        negated = parse_expression("NOT p.number == 1")
+        assert cost_model.condition_selectivity(negated, 100) == pytest.approx(0.95)
+
+
+class TestOptimizerSearch:
+    def optimizer(self, doc_database, rule_set=None, **options):
+        return Optimizer(
+            schema=doc_database.schema,
+            rule_set=rule_set if rule_set is not None else standard_rules(),
+            database=doc_database,
+            options=OptimizerOptions(**options) if options else None)
+
+    def test_optimizes_simple_select(self, doc_database):
+        plan = Project(("p",), Select(parse_expression("p.number == 1"), GET_P))
+        result = self.optimizer(doc_database).optimize(plan)
+        assert result.best_cost.cost > 0
+        assert result.statistics.logical_plans_explored >= 1
+        names = [type(node).__name__ for node in walk_physical(result.best_plan)]
+        assert names[0] == "ProjectOp"
+
+    def test_raises_without_implementation_rules(self, doc_database):
+        empty = RuleSet("empty")
+        with pytest.raises(OptimizerError):
+            self.optimizer(doc_database, rule_set=empty).optimize(GET_P)
+
+    def test_exploration_cap_sets_truncated_flag(self, doc_database):
+        plan = Select(
+            parse_expression("p.number == 1 AND p.number == 2 AND p.number == 3"),
+            GET_P)
+        optimizer = self.optimizer(doc_database, max_logical_plans=2)
+        result = optimizer.optimize(plan)
+        assert result.statistics.exploration_truncated
+        assert result.statistics.logical_plans_explored <= 2
+
+    def test_equi_join_gets_hash_join(self, doc_database):
+        plan = Select(parse_expression("p.section.document == d"),
+                      Join(Const(True), GET_P, GET_D))
+        result = self.optimizer(doc_database).optimize(plan)
+        assert any(isinstance(node, HashJoin)
+                   for node in walk_physical(result.best_plan))
+
+    def test_memo_shares_subplans(self, doc_database):
+        plan = Project(("p",), Select(parse_expression("p.number == 1"), GET_P))
+        result = self.optimizer(doc_database).optimize(plan)
+        # fewer physical plans costed than (alternatives x nodes) because the
+        # best-physical results for shared subtrees are memoized
+        assert result.statistics.physical_plans_costed <= \
+            result.statistics.logical_plans_explored * 15
+
+    def test_trace_can_be_disabled(self, doc_database):
+        plan = Select(parse_expression("p.number == 1"), GET_P)
+        optimizer = self.optimizer(doc_database, enable_trace=False)
+        result = optimizer.optimize(plan)
+        assert len(result.trace) == 0
+
+    def test_explain_mentions_cost_and_plans(self, doc_database):
+        plan = Select(parse_expression("p.number == 1"), GET_P)
+        result = self.optimizer(doc_database).optimize(plan)
+        text = result.explain()
+        assert "physical plan" in text
+        assert "cost=" in text
+
+
+class TestOptimizerGenerator:
+    def test_generated_optimizer_includes_semantic_rules(self, doc_database,
+                                                         doc_knowledge):
+        generator = OptimizerGenerator(doc_database.schema, doc_knowledge)
+        optimizer = generator.generate(database=doc_database)
+        structural = generator.generate_without_semantics(database=doc_database)
+        assert len(optimizer.rule_set) > len(structural.rule_set)
+        assert any("E1" in name for name in optimizer.rule_set.rule_names())
+
+    def test_exclude_tags_removes_rule_groups(self, doc_database, doc_knowledge):
+        generator = OptimizerGenerator(doc_database.schema, doc_knowledge)
+        without_e5 = generator.generate(
+            database=doc_database, exclude_tags=("semantic:query-method",))
+        assert not any("E5" in name for name in without_e5.rule_set.rule_names())
+        assert any("E1" in name for name in without_e5.rule_set.rule_names())
+
+    def test_generation_without_knowledge(self, doc_database):
+        generator = OptimizerGenerator(doc_database.schema,
+                                       SchemaKnowledge(doc_database.schema))
+        optimizer = generator.generate(database=doc_database)
+        assert len(optimizer.rule_set) == len(standard_rules())
+
+    def test_semantic_plan_uses_external_bulk_method(self, doc_database,
+                                                     doc_knowledge):
+        generator = OptimizerGenerator(doc_database.schema, doc_knowledge)
+        optimizer = generator.generate(database=doc_database)
+        plan = Project(("p",), Select(
+            parse_expression("p->contains_string('Implementation')"), GET_P))
+        result = optimizer.optimize(plan)
+        nodes = list(walk_physical(result.best_plan))
+        assert any(isinstance(node, (ExpressionSetScan, SetProbeFilter))
+                   for node in nodes)
+        assert not any(isinstance(node, Filter) for node in nodes)
+
+
+class TestTraceAndStatistics:
+    def test_trace_records_and_renders(self):
+        trace = OptimizationTrace()
+        trace.record_transformation("rule-a", "before", "after")
+        trace.record_implementation("impl-b", "logical", "physical", detail="cost")
+        trace.record_decision("original", "final")
+        assert len(trace) == 3
+        assert trace.rule_was_applied("rule-a")
+        assert not trace.rule_was_applied("rule-z")
+        assert len(trace.transformations()) == 1
+        assert len(trace.implementations()) == 1
+        rendered = trace.render()
+        assert "rule-a" in rendered and "impl-b" in rendered
+
+    def test_trace_render_with_limit(self):
+        trace = OptimizationTrace()
+        for index in range(10):
+            trace.record_transformation(f"rule-{index}", "x", "y")
+        rendered = trace.render(limit=3)
+        assert "7 more events" in rendered
+
+    def test_trace_respects_max_events(self):
+        trace = OptimizationTrace(max_events=2)
+        for index in range(5):
+            trace.record_transformation(f"rule-{index}", "x", "y")
+        assert len(trace) == 2
+
+    def test_disabled_trace_records_nothing(self):
+        trace = OptimizationTrace(enabled=False)
+        trace.record_transformation("rule", "x", "y")
+        assert len(trace) == 0
+
+    def test_statistics_snapshot_and_rule_counts(self):
+        statistics = OptimizerStatistics()
+        statistics.record_rule("r1")
+        statistics.record_rule("r1")
+        statistics.logical_plans_explored = 5
+        snapshot = statistics.snapshot()
+        assert snapshot["logical_plans_explored"] == 5
+        assert statistics.rule_application_counts["r1"] == 2
+        assert "plans=5" in str(statistics)
