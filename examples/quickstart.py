@@ -11,6 +11,14 @@ E1-E5), and runs the motivating query
 first naively and then through the semantic optimizer, printing the chosen
 plan and the work both evaluations performed.
 
+To see which access path the optimizer chose, read the ``physical plan:``
+section of ``session.explain(query)`` (printed below) — its leaf names the
+access path, e.g. ``expr_set_scan<...>`` for the paper's bulk-method plan
+PQ, or ``index_eq_scan<d, Document.title == '...'>`` when an equality
+filter is answered directly from a registered index.  Programmatically the
+same information is available from ``OptimizationResult.explain()`` or by
+walking ``result.optimization.best_plan`` (see DESIGN.md).
+
 Run with:  python examples/quickstart.py
 """
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 __all__ = [
+    "cached_hash",
     "Expression",
     "Var",
     "Const",
@@ -55,6 +56,28 @@ __all__ = [
 COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=", "IS-IN", "IS-SUBSET")
 LOGICAL_OPS = ("AND", "OR")
 ARITHMETIC_OPS = ("+", "-", "*", "/")
+
+
+def cached_hash(cls):
+    """Cache the structural hash of a frozen dataclass on first use.
+
+    Expression and operator trees serve as keys of the optimizer's memo and
+    seen-plan structures, and the dataclass-generated ``__hash__`` re-walks
+    the entire subtree on every call.  Since the trees are immutable the
+    value can be computed once and stored on the instance (outside the
+    declared fields, so equality and repr are unaffected).
+    """
+    generated = cls.__hash__
+
+    def __hash__(self):
+        value = self.__dict__.get("_structural_hash")
+        if value is None:
+            value = generated(self)
+            object.__setattr__(self, "_structural_hash", value)
+        return value
+
+    cls.__hash__ = __hash__
+    return cls
 
 
 def _postfix_base_str(base: "Expression") -> str:
@@ -99,6 +122,7 @@ class Expression:
     # The dataclass subclasses supply __eq__/__hash__/__repr__.
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Var(Expression):
     """A query/range variable or an algebra reference."""
@@ -109,6 +133,7 @@ class Var(Expression):
         return self.name
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Const(Expression):
     """A literal constant (string, number, boolean, or frozen collection)."""
@@ -127,6 +152,7 @@ class Const(Expression):
         return str(self.value)
 
 
+@cached_hash
 @dataclass(frozen=True)
 class PropertyAccess(Expression):
     """``base.prop`` — property access, lifted pointwise over sets.
@@ -149,6 +175,7 @@ class PropertyAccess(Expression):
         return f"{_postfix_base_str(self.base)}.{self.prop}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class MethodCall(Expression):
     """``receiver→method(args...)`` — instance method invocation."""
@@ -169,6 +196,7 @@ class MethodCall(Expression):
         return f"{_postfix_base_str(self.receiver)}->{self.method}({args})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class ClassMethodCall(Expression):
     """``Class→method(args...)`` — class-level (OWNTYPE) method invocation."""
@@ -188,6 +216,7 @@ class ClassMethodCall(Expression):
         return f"{self.class_name}->{self.method}({args})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class ClassExtent(Expression):
     """The extension of a class used as a value (e.g. ``p IS-IN Paragraph``)."""
@@ -198,6 +227,7 @@ class ClassExtent(Expression):
         return self.class_name
 
 
+@cached_hash
 @dataclass(frozen=True)
 class BinaryOp(Expression):
     """Binary operation: comparison, logical connective or arithmetic."""
@@ -220,6 +250,7 @@ class BinaryOp(Expression):
         return f"({self.left} {self.op} {self.right})"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class UnaryOp(Expression):
     """Unary operation: ``NOT`` or arithmetic negation."""
@@ -245,6 +276,7 @@ class UnaryOp(Expression):
         return f"{self.op}{self.operand}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class TupleConstructor(Expression):
     """``[name: expr, ...]`` — tuple construction in the ACCESS clause."""
@@ -263,6 +295,7 @@ class TupleConstructor(Expression):
         return f"[{inner}]"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class SetConstructor(Expression):
     """``{expr, ...}`` — set construction."""
@@ -279,6 +312,7 @@ class SetConstructor(Expression):
         return "{" + ", ".join(str(e) for e in self.elements) + "}"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class PatternVar(Expression):
     """A pattern variable (``?x``) binding an arbitrary sub-expression.

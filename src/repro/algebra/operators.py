@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
-from repro.algebra.expressions import Expression, free_vars
+from repro.algebra.expressions import Expression, cached_hash, free_vars
 from repro.errors import AlgebraError
 
 __all__ = [
@@ -77,6 +77,7 @@ def references_of(operator: LogicalOperator) -> set[str]:
     return set(operator.refs())
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Get(LogicalOperator):
     """``get<a, class>`` — the extension of a class as unary tuples."""
@@ -92,6 +93,7 @@ class Get(LogicalOperator):
         return f"get<{self.ref}, {self.class_name}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class ExpressionSource(LogicalOperator):
     """``source<a, expr>`` — a reference-free, set-valued expression as a
@@ -123,6 +125,7 @@ class ExpressionSource(LogicalOperator):
         return f"source<{self.ref}, {self.expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Select(LogicalOperator):
     """``select<condition>(S)`` — keep tuples satisfying the condition."""
@@ -155,6 +158,7 @@ class Select(LogicalOperator):
         return f"select<{self.condition}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Join(LogicalOperator):
     """``join<condition>(S1, S2)`` — θ-join over disjoint reference sets."""
@@ -195,6 +199,7 @@ class Join(LogicalOperator):
         return f"join<{self.condition}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class NaturalJoin(LogicalOperator):
     """``natural_join(S1, S2)`` — join on the shared references."""
@@ -220,6 +225,7 @@ class NaturalJoin(LogicalOperator):
         return "natural_join"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Union(LogicalOperator):
     """``union(S1, S2)`` over identical reference sets."""
@@ -246,6 +252,7 @@ class Union(LogicalOperator):
         return "union"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Diff(LogicalOperator):
     """``diff(S1, S2)`` over identical reference sets."""
@@ -272,6 +279,7 @@ class Diff(LogicalOperator):
         return "diff"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Map(LogicalOperator):
     """``map<a, expression>(S)`` — add reference *a* holding the expression
@@ -309,6 +317,7 @@ class Map(LogicalOperator):
         return f"map<{self.ref}, {self.expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Flat(LogicalOperator):
     """``flat<a, expression>(S)`` — like map for a set-valued expression,
@@ -346,6 +355,7 @@ class Flat(LogicalOperator):
         return f"flat<{self.ref}, {self.expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Project(LogicalOperator):
     """``project<a1,...,ai>(S)`` — restrict tuples to the listed references

@@ -16,6 +16,7 @@ __all__ = [
     "transform_top_down",
     "replace_node",
     "positions",
+    "positions_with_nodes",
     "node_at",
     "replace_at",
 ]
@@ -68,6 +69,23 @@ def positions(root: LogicalOperator) -> Iterator[tuple[int, ...]]:
 
     def visit(node: LogicalOperator, path: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
         yield path
+        for index, child in enumerate(node.inputs()):
+            yield from visit(child, path + (index,))
+
+    return visit(root, ())
+
+
+def positions_with_nodes(root: LogicalOperator
+                         ) -> Iterator[tuple[tuple[int, ...], LogicalOperator]]:
+    """Yield ``(path, node)`` pairs in one pre-order traversal.
+
+    Equivalent to pairing :func:`positions` with :func:`node_at` but without
+    re-walking the tree from the root for every position.
+    """
+
+    def visit(node: LogicalOperator, path: tuple[int, ...]
+              ) -> Iterator[tuple[tuple[int, ...], LogicalOperator]]:
+        yield path, node
         for index, child in enumerate(node.inputs()):
             yield from visit(child, path + (index,))
 

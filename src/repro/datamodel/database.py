@@ -105,11 +105,26 @@ class Database:
 
     def _index_new_object(self, class_name: str, oid: OID,
                           values: dict[str, Any]) -> None:
+        # Indexes created on a class cover the deep extension (subclasses
+        # included), so maintenance must notify the index of every ancestor
+        # class as well — otherwise instances of subclasses created after the
+        # index would silently be missing from it.  None values are not
+        # indexed: the evaluator treats None as matching no comparison, and
+        # None keys cannot be ordered by a sorted index.
         for prop_name, value in values.items():
-            self.indexes.notify_insert(class_name, prop_name, value, oid)
-            engine = self._text_indexes.get((class_name, prop_name))
-            if engine is not None and value is not None:
-                engine.index_text(oid, str(value))
+            if value is None:
+                continue
+            for owner in self._class_and_ancestors(class_name):
+                self.indexes.notify_insert(owner, prop_name, value, oid)
+                engine = self._text_indexes.get((owner, prop_name))
+                if engine is not None:
+                    engine.index_text(oid, str(value))
+
+    def _class_and_ancestors(self, class_name: str) -> Iterable[str]:
+        current: Optional[str] = class_name
+        while current is not None:
+            yield current
+            current = self.schema.get_class(current).superclass
 
     def get(self, oid: OID) -> DatabaseObject:
         try:
@@ -144,17 +159,24 @@ class Database:
                 f"value {value!r} for {obj.class_name}.{prop} does not "
                 f"conform to {prop_def.vml_type}")
         old = obj.get_or_none(prop)
+        had = obj.has(prop)
         obj.set(prop, value)
         self.statistics.record_property_write()
-        index = self.indexes.get(obj.class_name, prop)
-        if index is not None:
-            if obj.has(prop) and old is not None:
-                index.update(old, value, oid)
-            else:
-                index.insert(value, oid)
-        engine = self._text_indexes.get((obj.class_name, prop))
-        if engine is not None:
-            engine.index_text(oid, str(value))
+        for owner in self._class_and_ancestors(obj.class_name):
+            index = self.indexes.get(owner, prop)
+            if index is not None:
+                # None values are never indexed (see _index_new_object), so
+                # transitions to/from None become plain removes/inserts.
+                if had and old is not None:
+                    if value is not None:
+                        index.update(old, value, oid)
+                    else:
+                        index.remove(old, oid)
+                elif value is not None:
+                    index.insert(value, oid)
+            engine = self._text_indexes.get((owner, prop))
+            if engine is not None:
+                engine.index_text(oid, str(value))
 
     # ------------------------------------------------------------------
     # extensions
@@ -233,20 +255,111 @@ class Database:
         return self.schema.resolve_instance_method(class_name, method_name)
 
     # ------------------------------------------------------------------
+    # pre-resolved dispatch (compiled execution engine)
+    # ------------------------------------------------------------------
+    def instance_invoker(self, class_name: str, method_name: str):
+        """Resolve an instance method once and return a fast per-call invoker.
+
+        The invoker performs the same work as :meth:`invoke` — receiver
+        existence check, arity check, statistics recording, error wrapping —
+        but with method resolution and metadata lookups hoisted out of the
+        per-call path.  Used by :mod:`repro.physical.compiler` to pre-bind
+        method dispatch per receiver class.
+        """
+        method = self.schema.resolve_instance_method(class_name, method_name)
+        return self._make_invoker(method, class_name, check_receiver=True)
+
+    def class_invoker(self, class_name: str, method_name: str):
+        """Like :meth:`instance_invoker` for class-level (OWNTYPE) methods."""
+        method = self.schema.resolve_class_method(class_name, method_name)
+        return self._make_invoker(method, class_name, check_receiver=False)
+
+    def _make_invoker(self, method: MethodDef, class_name: str,
+                      check_receiver: bool):
+        implementation = method.implementation
+        if implementation is None:
+            raise MethodInvocationError(
+                f"method {class_name}.{method.name} has no implementation")
+        objects = self._objects
+        context = self._context
+        method_name = method.name
+        arity = method.arity
+        # Statistics recording is inlined with the counters pre-bound:
+        # reset() clears them in place, so the references stay valid.
+        statistics = self.statistics
+        call_counter = statistics.method_calls
+        external_counter = (statistics.external_method_calls
+                            if method.is_external() else None)
+        class_counter = (statistics.class_method_calls
+                         if method.class_level else None)
+        cost = method.cost_per_call
+        key = f"{class_name}.{method_name}"
+
+        def invoke(receiver: Any, args: tuple[Any, ...]) -> Any:
+            if check_receiver and receiver not in objects:
+                raise ObjectNotFoundError(f"no object with OID {receiver}")
+            if len(args) != arity:
+                raise MethodInvocationError(
+                    f"method {class_name}.{method_name} expects {arity} "
+                    f"argument(s), got {len(args)}")
+            call_counter[key] += 1
+            if external_counter is not None:
+                external_counter[key] += 1
+            if class_counter is not None:
+                class_counter[key] += 1
+            statistics.method_cost_units += cost
+            try:
+                return implementation(context, receiver, *args)
+            except (ObjectNotFoundError, SchemaError, MethodInvocationError):
+                raise
+            except Exception as exc:  # surface implementation bugs with context
+                raise MethodInvocationError(
+                    f"method {class_name}.{method_name} failed: {exc}") from exc
+
+        return invoke
+
+    def property_reader(self, class_name: str, prop: str):
+        """Validate a property once and return a fast per-read accessor.
+
+        The accessor charges the same ``property_reads`` counter as
+        :meth:`value` but skips the per-call schema validation."""
+        if not self.schema.has_property(class_name, prop):
+            raise SchemaError(
+                f"class {class_name!r} has no property {prop!r}")
+        objects = self._objects
+        record = self.statistics.record_property_read
+
+        def read(oid: OID) -> Any:
+            try:
+                obj = objects[oid]
+            except KeyError:
+                raise ObjectNotFoundError(f"no object with OID {oid}") from None
+            record()
+            return obj.get_or_none(prop)
+
+        return read
+
+    # ------------------------------------------------------------------
     # indexes
     # ------------------------------------------------------------------
     def create_hash_index(self, class_name: str, prop: str) -> HashIndex:
-        """Create an exact-match index and backfill it from existing objects."""
+        """Create an exact-match index and backfill it from existing objects
+        (objects whose property is None are not indexed)."""
         index = self.indexes.create_hash_index(class_name, prop)
         for oid in self.extension(class_name):
-            index.insert(self.get(oid).get_or_none(prop), oid)
+            value = self.get(oid).get_or_none(prop)
+            if value is not None:
+                index.insert(value, oid)
         return index
 
     def create_sorted_index(self, class_name: str, prop: str) -> SortedIndex:
-        """Create an ordered index and backfill it from existing objects."""
+        """Create an ordered index and backfill it from existing objects
+        (objects whose property is None are not indexed)."""
         index = self.indexes.create_sorted_index(class_name, prop)
         for oid in self.extension(class_name):
-            index.insert(self.get(oid).get_or_none(prop), oid)
+            value = self.get(oid).get_or_none(prop)
+            if value is not None:
+                index.insert(value, oid)
         return index
 
     def create_text_index(self, class_name: str, prop: str) -> InvertedTextIndex:

@@ -36,11 +36,21 @@ def tokenize(text: str) -> list[str]:
 
 @dataclass
 class TextDocument:
-    """One indexed text: the owning OID and its raw content."""
+    """One indexed text: the owning OID and its raw content.
+
+    The lowercase form of the content is precomputed at indexing time so
+    that the per-call substring tests do not re-lower the content on every
+    ``contains_string`` probe (the cost accounting still charges the scan).
+    """
 
     oid: OID
     content: str
     tokens: tuple[str, ...] = field(default_factory=tuple)
+    content_lower: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.content_lower:
+            self.content_lower = self.content.lower()
 
     @classmethod
     def from_content(cls, oid: OID, content: str) -> "TextDocument":
@@ -108,7 +118,7 @@ class InvertedTextIndex:
             return False
         self.chars_scanned += len(document.content)
         self.cost_units += len(document.content) * self.SCAN_COST_PER_CHAR
-        return needle.lower() in document.content.lower()
+        return needle.lower() in document.content_lower
 
     def retrieve(self, needle: str) -> set[OID]:
         """Bulk retrieval of OIDs containing *needle* (exact substring
@@ -143,8 +153,7 @@ class InvertedTextIndex:
         result: set[OID] = set()
         needle_lower = needle.lower()
         for oid in candidates:
-            content = self._documents[oid].content.lower()
-            if needle_lower in content:
+            if needle_lower in self._documents[oid].content_lower:
                 result.add(oid)
         return result
 

@@ -17,6 +17,7 @@ from repro.algebra.expressions import (
     BinaryOp,
     Const,
     Expression,
+    PropertyAccess,
     Var,
     conjuncts,
     free_vars,
@@ -48,6 +49,8 @@ from repro.physical.plans import (
     Filter,
     FlattenEval,
     HashJoin,
+    IndexEqScan,
+    IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
@@ -294,6 +297,118 @@ def _is_subclass(ctx: RuleContext, class_name: str, ancestor: str) -> bool:
     return False
 
 
+# -- index access paths -------------------------------------------------
+_FLIPPED_COMPARISON = {"==": "==", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _property_comparison(conjunct: Expression, ref: str
+                         ) -> Optional[tuple[str, str, object]]:
+    """Match ``ref.prop OP const`` (either orientation) in a conjunct.
+
+    Returns ``(prop, op, value)`` with the comparison oriented so that the
+    property is on the left, or ``None``.
+    """
+    if not isinstance(conjunct, BinaryOp):
+        return None
+    if conjunct.op not in _FLIPPED_COMPARISON:
+        return None
+    orientations = (
+        (conjunct.left, conjunct.right, conjunct.op),
+        (conjunct.right, conjunct.left, _FLIPPED_COMPARISON[conjunct.op]),
+    )
+    for prop_side, const_side, op in orientations:
+        if (isinstance(prop_side, PropertyAccess)
+                and isinstance(prop_side.base, Var)
+                and prop_side.base.name == ref
+                and isinstance(const_side, Const)
+                and const_side.value is not None):
+            return prop_side.prop, op, const_side.value
+    return None
+
+
+def _implement_select_index_eq(plan: LogicalOperator,
+                               _children: tuple[PhysicalOperator, ...],
+                               ctx: RuleContext
+                               ) -> Optional[Iterable[PhysicalOperator]]:
+    """select<a.prop == const AND rest>(get<a, C>) → filter<rest>(index_eq_scan)
+    when an index on ``C.prop`` is registered with the database."""
+    if not isinstance(plan, Select) or not isinstance(plan.input, Get):
+        return None
+    if ctx.database is None:
+        return None
+    get = plan.input
+    parts = conjuncts(plan.condition)
+    for position, part in enumerate(parts):
+        match = _property_comparison(part, get.ref)
+        if match is None:
+            continue
+        prop, op, value = match
+        if op != "==":
+            continue
+        if ctx.database.indexes.get(get.class_name, prop) is None:
+            continue
+        scan: PhysicalOperator = IndexEqScan(get.ref, get.class_name, prop, value)
+        residual = make_conjunction(parts[:position] + parts[position + 1:])
+        return [scan if residual is None else Filter(residual, scan)]
+    return None
+
+
+def _implement_select_index_range(plan: LogicalOperator,
+                                  _children: tuple[PhysicalOperator, ...],
+                                  ctx: RuleContext
+                                  ) -> Optional[Iterable[PhysicalOperator]]:
+    """select<a.prop < const AND ...>(get<a, C>) → index_range_scan over a
+    sorted index, merging all range conjuncts on the same property into one
+    interval and keeping the remaining conjuncts as a residual filter."""
+    if not isinstance(plan, Select) or not isinstance(plan.input, Get):
+        return None
+    if ctx.database is None:
+        return None
+    get = plan.input
+    parts = conjuncts(plan.condition)
+
+    # Pick the first property with a sorted index and at least one bound.
+    target_prop: Optional[str] = None
+    for part in parts:
+        match = _property_comparison(part, get.ref)
+        if match is None or match[1] == "==":
+            continue
+        index = ctx.database.indexes.get(get.class_name, match[0])
+        if index is not None and index.kind == "sorted":
+            target_prop = match[0]
+            break
+    if target_prop is None:
+        return None
+
+    low = high = None
+    include_low = include_high = True
+    residual: list[Expression] = []
+    for part in parts:
+        match = _property_comparison(part, get.ref)
+        if match is None or match[0] != target_prop or match[1] == "==":
+            residual.append(part)
+            continue
+        _, op, value = match
+        bound_inclusive = op in ("<=", ">=")
+        try:
+            if op in (">", ">="):
+                if low is None or value > low or (value == low and not bound_inclusive):
+                    low, include_low = value, bound_inclusive
+            else:
+                if high is None or value < high or (value == high and not bound_inclusive):
+                    high, include_high = value, bound_inclusive
+        except TypeError:
+            # Bounds of incomparable types: evaluate this conjunct per row.
+            residual.append(part)
+    if low is None and high is None:
+        return None
+    scan: PhysicalOperator = IndexRangeScan(
+        get.ref, get.class_name, target_prop, low, high,
+        include_low, include_high)
+    rest = make_conjunction(residual)
+    return [scan if rest is None else Filter(rest, scan)]
+
+
 def _split_equi_condition(plan: Join) -> Optional[tuple[Expression, Expression]]:
     """For an equality join condition, return (left_key, right_key)."""
     condition = plan.condition
@@ -387,6 +502,12 @@ def standard_implementations() -> list[CallableImplementationRule]:
         ("impl-select-membership-scan",
          "replace scan + membership test by scanning the member set",
          _implement_select_membership_scan),
+        ("impl-select-index-eq",
+         "equality filter over an indexed property becomes an index lookup",
+         _implement_select_index_eq),
+        ("impl-select-index-range",
+         "range filter over a sorted-indexed property becomes an index range scan",
+         _implement_select_index_range),
         ("impl-join-nested-loop", "nested loop join", _implement_join_nested_loop),
         ("impl-join-hash", "hash join on equality keys", _implement_join_hash),
         ("impl-natural-join", "natural join", _implement_natural_join),

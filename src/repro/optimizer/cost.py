@@ -40,6 +40,7 @@ from repro.datamodel.database import Database
 from repro.datamodel.schema import MethodDef, Schema
 from repro.datamodel.types import SetType
 from repro.errors import ReproError
+from repro.datamodel.indexes import HashIndex
 from repro.physical.plans import (
     ClassScan,
     DiffOp,
@@ -47,6 +48,8 @@ from repro.physical.plans import (
     Filter,
     FlattenEval,
     HashJoin,
+    IndexEqScan,
+    IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
@@ -82,6 +85,10 @@ class CostModel:
     PROJECT_COST = 0.05
     COMPARISON_COST = 0.05
     PROPERTY_ACCESS_COST = 0.2
+    #: one positioning step in a user-defined index (cheaper than any
+    #: method-encapsulated lookup such as ``select_by_index``)
+    INDEX_LOOKUP_COST = 2.0
+    RANGE_SELECTIVITY = 0.3
     # defaults when no statistics are available
     DEFAULT_EXTENSION_SIZE = 1000.0
     DEFAULT_METHOD_COST = 1.0
@@ -107,6 +114,27 @@ class CostModel:
         if isinstance(plan, ClassScan):
             cardinality = self.extension_size(plan.class_name)
             return CostEstimate(cardinality * self.TUPLE_SCAN_COST, cardinality)
+
+        if isinstance(plan, IndexEqScan):
+            size = self.extension_size(plan.class_name)
+            cardinality = max(size * self.EQUALITY_SELECTIVITY, 1.0)
+            index = (self.database.indexes.get(plan.class_name, plan.prop)
+                     if self.database is not None else None)
+            if isinstance(index, HashIndex) and index.distinct_keys() > 0:
+                cardinality = max(len(index) / index.distinct_keys(), 1.0)
+            return CostEstimate(
+                self.INDEX_LOOKUP_COST + cardinality * self.TUPLE_EMIT_COST,
+                cardinality)
+
+        if isinstance(plan, IndexRangeScan):
+            size = self.extension_size(plan.class_name)
+            selectivity = self.RANGE_SELECTIVITY
+            if plan.low is not None and plan.high is not None:
+                selectivity *= self.RANGE_SELECTIVITY
+            cardinality = max(size * selectivity, 1.0)
+            return CostEstimate(
+                self.INDEX_LOOKUP_COST + cardinality * self.TUPLE_EMIT_COST,
+                cardinality)
 
         if isinstance(plan, ExpressionSetScan):
             cardinality = self.expression_cardinality(plan.expression)

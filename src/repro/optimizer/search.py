@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.algebra.operators import LogicalOperator
 from repro.algebra.printer import format_inline
-from repro.algebra.visitors import node_at, positions, replace_at
+from repro.algebra.visitors import positions_with_nodes, replace_at
 from repro.datamodel.database import Database
 from repro.datamodel.schema import Schema
 from repro.errors import OptimizerError
@@ -166,7 +166,10 @@ class Optimizer:
 
         Rules flagged ``apply_once`` (the paper's ``⇒!`` marker on condition
         implications) are applied at most once along any derivation path:
-        the set of already-fired once-rules is tracked per derived plan.
+        the set of already-fired once-rules is tracked per derived plan and
+        dropped once the plan has been drained from the worklist (a plan is
+        processed at most once, so keeping its entry would only grow the
+        dict with every derived plan).
         """
         seen: set[LogicalOperator] = {root}
         ordered: list[LogicalOperator] = [root]
@@ -176,9 +179,8 @@ class Optimizer:
 
         while worklist:
             plan = worklist.pop()
-            plan_history = once_history.get(plan, frozenset())
-            for path in positions(plan):
-                node = node_at(plan, path)
+            plan_history = once_history.pop(plan, frozenset())
+            for path, node in positions_with_nodes(plan):
                 for rule in self.rule_set.transformations:
                     if rule.apply_once and rule.name in plan_history:
                         continue

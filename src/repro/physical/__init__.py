@@ -1,7 +1,9 @@
 """Physical algebra and execution engine."""
 
 from repro.physical.evaluator import evaluate, evaluate_predicate, make_hashable
+from repro.physical.compiler import CompiledExpr, ExpressionCompiler
 from repro.physical.executor import Row, execute_plan
+from repro.physical.interpreter import execute_plan_interpreted
 from repro.physical.plans import (
     ClassScan,
     DiffOp,
@@ -9,6 +11,8 @@ from repro.physical.plans import (
     Filter,
     FlattenEval,
     HashJoin,
+    IndexEqScan,
+    IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
@@ -26,9 +30,14 @@ __all__ = [
     "make_hashable",
     "Row",
     "execute_plan",
+    "execute_plan_interpreted",
+    "CompiledExpr",
+    "ExpressionCompiler",
     "execute_restricted",
     "PhysicalOperator",
     "ClassScan",
+    "IndexEqScan",
+    "IndexRangeScan",
     "ExpressionSetScan",
     "Filter",
     "SetProbeFilter",

@@ -1,19 +1,30 @@
-"""Execution of physical plans.
+"""Compiled, pipelined execution of physical plans.
 
-The executor interprets physical plan trees bottom-up, producing lists of
-rows (mappings from references to values).  The algebra has set semantics;
-duplicate elimination happens at projections, unions and set scans, while
-the other operators preserve distinctness of their inputs.
+This is the production engine: each operator becomes a generator that pulls
+rows from its input (Volcano-style pipelining), so Filter→Map→Project
+chains stream without materializing intermediate lists, and every
+expression parameter is compiled once per :func:`execute_plan` call by
+:mod:`repro.physical.compiler` instead of being re-interpreted per row.
+
+The public contract is unchanged from the seed interpreter (retained in
+:mod:`repro.physical.interpreter` as the differential-testing reference):
+``execute_plan`` returns a list of rows — mappings from references to
+values — with the algebra's set semantics: duplicate elimination happens at
+projections, unions and set scans, while the other operators preserve
+distinctness of their inputs.  Row order and database work counters match
+the reference engine.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any
+from typing import Any, Iterator
 
 from repro.datamodel.database import Database
 from repro.errors import ExecutionError
-from repro.physical.evaluator import evaluate, evaluate_predicate, make_hashable
+from repro.physical.compiler import ExpressionCompiler
+from repro.physical.evaluator import EMPTY_ROW, make_hashable
+from repro.physical.interpreter import _iterate_set, _require_index
 from repro.physical.plans import (
     ClassScan,
     DiffOp,
@@ -21,6 +32,8 @@ from repro.physical.plans import (
     Filter,
     FlattenEval,
     HashJoin,
+    IndexEqScan,
+    IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
@@ -37,130 +50,205 @@ Row = dict[str, Any]
 
 def execute_plan(plan: PhysicalOperator, database: Database) -> list[Row]:
     """Execute *plan* against *database* and return the result rows."""
-    if isinstance(plan, ClassScan):
-        return [{plan.ref: oid} for oid in database.extension(plan.class_name)]
-
-    if isinstance(plan, ExpressionSetScan):
-        value = evaluate(plan.expression, {}, database)
-        return [{plan.ref: element} for element in _iterate_set(value, plan)]
-
-    if isinstance(plan, Filter):
-        rows = execute_plan(plan.input, database)
-        return [row for row in rows
-                if evaluate_predicate(plan.condition, row, database)]
-
-    if isinstance(plan, SetProbeFilter):
-        rows = execute_plan(plan.input, database)
-        members = {make_hashable(v)
-                   for v in _iterate_set(
-                       evaluate(plan.set_expression, {}, database), plan)}
-        return [row for row in rows
-                if make_hashable(row.get(plan.ref)) in members]
-
-    if isinstance(plan, NestedLoopJoin):
-        left_rows = execute_plan(plan.left, database)
-        right_rows = execute_plan(plan.right, database)
-        result: list[Row] = []
-        for left_row in left_rows:
-            for right_row in right_rows:
-                combined = {**left_row, **right_row}
-                if evaluate_predicate(plan.condition, combined, database):
-                    result.append(combined)
-        return result
-
-    if isinstance(plan, HashJoin):
-        left_rows = execute_plan(plan.left, database)
-        right_rows = execute_plan(plan.right, database)
-        table: dict[Any, list[Row]] = defaultdict(list)
-        for right_row in right_rows:
-            key = make_hashable(evaluate(plan.right_key, right_row, database))
-            table[key].append(right_row)
-        result = []
-        for left_row in left_rows:
-            key = make_hashable(evaluate(plan.left_key, left_row, database))
-            for right_row in table.get(key, ()):
-                result.append({**left_row, **right_row})
-        return result
-
-    if isinstance(plan, NaturalMergeJoin):
-        left_rows = execute_plan(plan.left, database)
-        right_rows = execute_plan(plan.right, database)
-        common = plan.common_refs()
-        if not common:
-            # Degenerates to a cartesian product, as in the logical algebra.
-            return [{**l, **r} for l in left_rows for r in right_rows]
-        table = defaultdict(list)
-        for right_row in right_rows:
-            key = tuple(make_hashable(right_row.get(ref)) for ref in common)
-            table[key].append(right_row)
-        result = []
-        for left_row in left_rows:
-            key = tuple(make_hashable(left_row.get(ref)) for ref in common)
-            for right_row in table.get(key, ()):
-                result.append({**left_row, **right_row})
-        return result
-
-    if isinstance(plan, MapEval):
-        rows = execute_plan(plan.input, database)
-        return [{**row, plan.ref: evaluate(plan.expression, row, database)}
-                for row in rows]
-
-    if isinstance(plan, FlattenEval):
-        rows = execute_plan(plan.input, database)
-        result = []
-        for row in rows:
-            value = evaluate(plan.expression, row, database)
-            for element in _iterate_set(value, plan, allow_none=True):
-                result.append({**row, plan.ref: element})
-        return result
-
-    if isinstance(plan, ProjectOp):
-        rows = execute_plan(plan.input, database)
-        return _distinct([{ref: row.get(ref) for ref in plan.kept} for row in rows])
-
-    if isinstance(plan, UnionOp):
-        left_rows = execute_plan(plan.left, database)
-        right_rows = execute_plan(plan.right, database)
-        return _distinct(left_rows + right_rows)
-
-    if isinstance(plan, DiffOp):
-        left_rows = execute_plan(plan.left, database)
-        right_rows = execute_plan(plan.right, database)
-        right_keys = {make_hashable(row) for row in right_rows}
-        return [row for row in _distinct(left_rows)
-                if make_hashable(row) not in right_keys]
-
-    raise ExecutionError(f"unknown physical operator {plan!r}")
+    compiler = ExpressionCompiler(database)
+    return list(_open(plan, database, compiler))
 
 
-def _iterate_set(value: Any, plan: PhysicalOperator,
-                 allow_none: bool = False) -> list[Any]:
-    """Interpret *value* as a set of elements for scanning/flattening."""
-    if value is None:
-        if allow_none:
-            return []
+def _open(plan: PhysicalOperator, database: Database,
+          compiler: ExpressionCompiler) -> Iterator[Row]:
+    """Open *plan* as a row iterator (expressions compiled once)."""
+    builder = _BUILDERS.get(type(plan))
+    if builder is None:
+        raise ExecutionError(f"unknown physical operator {plan!r}")
+    return builder(plan, database, compiler)
+
+
+# ----------------------------------------------------------------------
+# access paths
+# ----------------------------------------------------------------------
+def _class_scan(plan: ClassScan, database: Database,
+                compiler: ExpressionCompiler) -> Iterator[Row]:
+    ref = plan.ref
+    for oid in database.extension(plan.class_name):
+        yield {ref: oid}
+
+
+def _index_eq_scan(plan: IndexEqScan, database: Database,
+                   compiler: ExpressionCompiler) -> Iterator[Row]:
+    index = _require_index(plan, database)
+    database.statistics.record_index_lookup()
+    ref = plan.ref
+    for oid in sorted(index.lookup(plan.key)):
+        yield {ref: oid}
+
+
+def _index_range_scan(plan: IndexRangeScan, database: Database,
+                      compiler: ExpressionCompiler) -> Iterator[Row]:
+    index = _require_index(plan, database)
+    if index.kind != "sorted":
         raise ExecutionError(
-            f"{plan.describe()} evaluated to None instead of a set")
-    if isinstance(value, (set, frozenset, list, tuple)):
-        seen: set[Any] = set()
-        elements: list[Any] = []
-        for element in value:
-            key = make_hashable(element)
-            if key not in seen:
-                seen.add(key)
-                elements.append(element)
-        return elements
-    # A scalar is treated as a singleton set, which keeps single-valued
-    # expressions (e.g. a path ending in a single object) usable in FROM.
-    return [value]
+            f"{plan.describe()} requires a sorted index, found "
+            f"{index.kind!r}")
+    database.statistics.record_index_lookup()
+    ref = plan.ref
+    oids = index.range(plan.low, plan.high,
+                       include_low=plan.include_low,
+                       include_high=plan.include_high)
+    for oid in sorted(oids):
+        yield {ref: oid}
 
 
-def _distinct(rows: list[Row]) -> list[Row]:
+def _expression_set_scan(plan: ExpressionSetScan, database: Database,
+                         compiler: ExpressionCompiler) -> Iterator[Row]:
+    value = compiler.compile(plan.expression)(EMPTY_ROW)
+    ref = plan.ref
+    for element in _iterate_set(value, plan):
+        yield {ref: element}
+
+
+# ----------------------------------------------------------------------
+# streaming unary operators
+# ----------------------------------------------------------------------
+def _filter(plan: Filter, database: Database,
+            compiler: ExpressionCompiler) -> Iterator[Row]:
+    predicate = compiler.compile_predicate(plan.condition)
+    for row in _open(plan.input, database, compiler):
+        if predicate(row):
+            yield row
+
+
+def _set_probe_filter(plan: SetProbeFilter, database: Database,
+                      compiler: ExpressionCompiler) -> Iterator[Row]:
+    # The probe set is reference-free; build it once (always, matching the
+    # reference engine's work counters even for empty inputs).
+    value = compiler.compile(plan.set_expression)(EMPTY_ROW)
+    members = {make_hashable(v) for v in _iterate_set(value, plan)}
+    ref = plan.ref
+    for row in _open(plan.input, database, compiler):
+        if make_hashable(row.get(ref)) in members:
+            yield row
+
+
+def _map_eval(plan: MapEval, database: Database,
+              compiler: ExpressionCompiler) -> Iterator[Row]:
+    expression = compiler.compile(plan.expression)
+    ref = plan.ref
+    for row in _open(plan.input, database, compiler):
+        yield {**row, ref: expression(row)}
+
+
+def _flatten_eval(plan: FlattenEval, database: Database,
+                  compiler: ExpressionCompiler) -> Iterator[Row]:
+    expression = compiler.compile(plan.expression)
+    ref = plan.ref
+    for row in _open(plan.input, database, compiler):
+        value = expression(row)
+        for element in _iterate_set(value, plan, allow_none=True):
+            yield {**row, ref: element}
+
+
+def _project(plan: ProjectOp, database: Database,
+             compiler: ExpressionCompiler) -> Iterator[Row]:
+    kept = plan.kept  # sorted by construction, so keys make a stable dedup key
     seen: set[Any] = set()
-    result: list[Row] = []
-    for row in rows:
-        key = make_hashable(row)
+    for row in _open(plan.input, database, compiler):
+        key = tuple(make_hashable(row.get(ref)) for ref in kept)
         if key not in seen:
             seen.add(key)
-            result.append(row)
-    return result
+            yield {ref: row.get(ref) for ref in kept}
+
+
+# ----------------------------------------------------------------------
+# joins (build side materialized once, probe side streamed)
+# ----------------------------------------------------------------------
+def _nested_loop_join(plan: NestedLoopJoin, database: Database,
+                      compiler: ExpressionCompiler) -> Iterator[Row]:
+    predicate = compiler.compile_predicate(plan.condition)
+    right_rows = list(_open(plan.right, database, compiler))
+    for left_row in _open(plan.left, database, compiler):
+        for right_row in right_rows:
+            combined = {**left_row, **right_row}
+            if predicate(combined):
+                yield combined
+
+
+def _hash_join(plan: HashJoin, database: Database,
+               compiler: ExpressionCompiler) -> Iterator[Row]:
+    left_key = compiler.compile(plan.left_key)
+    right_key = compiler.compile(plan.right_key)
+    table: dict[Any, list[Row]] = defaultdict(list)
+    for right_row in _open(plan.right, database, compiler):
+        table[make_hashable(right_key(right_row))].append(right_row)
+    for left_row in _open(plan.left, database, compiler):
+        matches = table.get(make_hashable(left_key(left_row)))
+        if matches:
+            for right_row in matches:
+                yield {**left_row, **right_row}
+
+
+def _natural_merge_join(plan: NaturalMergeJoin, database: Database,
+                        compiler: ExpressionCompiler) -> Iterator[Row]:
+    common = plan.common_refs()
+    right_rows = list(_open(plan.right, database, compiler))
+    if not common:
+        # Degenerates to a cartesian product, as in the logical algebra.
+        for left_row in _open(plan.left, database, compiler):
+            for right_row in right_rows:
+                yield {**left_row, **right_row}
+        return
+    table: dict[Any, list[Row]] = defaultdict(list)
+    for right_row in right_rows:
+        key = tuple(make_hashable(right_row.get(ref)) for ref in common)
+        table[key].append(right_row)
+    for left_row in _open(plan.left, database, compiler):
+        key = tuple(make_hashable(left_row.get(ref)) for ref in common)
+        matches = table.get(key)
+        if matches:
+            for right_row in matches:
+                yield {**left_row, **right_row}
+
+
+# ----------------------------------------------------------------------
+# set operators (streaming dedup)
+# ----------------------------------------------------------------------
+def _union(plan: UnionOp, database: Database,
+           compiler: ExpressionCompiler) -> Iterator[Row]:
+    seen: set[Any] = set()
+    for side in (plan.left, plan.right):
+        for row in _open(side, database, compiler):
+            key = make_hashable(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+def _diff(plan: DiffOp, database: Database,
+          compiler: ExpressionCompiler) -> Iterator[Row]:
+    right_keys = {make_hashable(row)
+                  for row in _open(plan.right, database, compiler)}
+    seen: set[Any] = set()
+    for row in _open(plan.left, database, compiler):
+        key = make_hashable(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        if key not in right_keys:
+            yield row
+
+
+_BUILDERS = {
+    ClassScan: _class_scan,
+    IndexEqScan: _index_eq_scan,
+    IndexRangeScan: _index_range_scan,
+    ExpressionSetScan: _expression_set_scan,
+    Filter: _filter,
+    SetProbeFilter: _set_probe_filter,
+    MapEval: _map_eval,
+    FlattenEval: _flatten_eval,
+    ProjectOp: _project,
+    NestedLoopJoin: _nested_loop_join,
+    HashJoin: _hash_join,
+    NaturalMergeJoin: _natural_merge_join,
+    UnionOp: _union,
+    DiffOp: _diff,
+}

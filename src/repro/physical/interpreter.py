@@ -1,0 +1,211 @@
+"""Reference interpreter for physical plans (the seed execution engine).
+
+This module preserves the original interpretive executor: every operator
+fully materializes its input into a list of rows and every expression is
+evaluated by the recursive tree-walking :mod:`repro.physical.evaluator`.
+
+It is retained for two purposes:
+
+* as the *semantic reference* the compiled pipelined engine in
+  :mod:`repro.physical.executor` is differentially tested against
+  (``tests/test_property_based.py``), and
+* as the baseline of the engine benchmark
+  (``benchmarks/bench_exp8_engine.py``), which quantifies what compilation
+  and pipelining buy on identical physical plans.
+
+Production code should use :func:`repro.physical.executor.execute_plan`;
+both entry points implement exactly the same list-of-Row contract with set
+semantics (duplicate elimination at projections, unions and set scans).
+
+The helpers ``_iterate_set``, ``_distinct`` and ``_require_index`` are
+imported by the compiled engine and the restricted executor so that the
+set-coercion and index-lookup semantics are defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.datamodel.database import Database
+from repro.errors import ExecutionError
+from repro.physical.evaluator import evaluate, evaluate_predicate, make_hashable
+from repro.physical.plans import (
+    ClassScan,
+    DiffOp,
+    ExpressionSetScan,
+    Filter,
+    FlattenEval,
+    HashJoin,
+    IndexEqScan,
+    IndexRangeScan,
+    MapEval,
+    NaturalMergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    SetProbeFilter,
+    UnionOp,
+)
+
+__all__ = ["execute_plan_interpreted", "Row"]
+
+Row = dict[str, Any]
+
+
+def execute_plan_interpreted(plan: PhysicalOperator,
+                             database: Database) -> list[Row]:
+    """Execute *plan* against *database* interpretively (reference engine)."""
+    if isinstance(plan, ClassScan):
+        return [{plan.ref: oid} for oid in database.extension(plan.class_name)]
+
+    if isinstance(plan, IndexEqScan):
+        index = _require_index(plan, database)
+        database.statistics.record_index_lookup()
+        return [{plan.ref: oid} for oid in sorted(index.lookup(plan.key))]
+
+    if isinstance(plan, IndexRangeScan):
+        index = _require_index(plan, database)
+        if index.kind != "sorted":
+            raise ExecutionError(
+                f"{plan.describe()} requires a sorted index, found "
+                f"{index.kind!r}")
+        database.statistics.record_index_lookup()
+        oids = index.range(plan.low, plan.high,
+                           include_low=plan.include_low,
+                           include_high=plan.include_high)
+        return [{plan.ref: oid} for oid in sorted(oids)]
+
+    if isinstance(plan, ExpressionSetScan):
+        value = evaluate(plan.expression, {}, database)
+        return [{plan.ref: element} for element in _iterate_set(value, plan)]
+
+    if isinstance(plan, Filter):
+        rows = execute_plan_interpreted(plan.input, database)
+        return [row for row in rows
+                if evaluate_predicate(plan.condition, row, database)]
+
+    if isinstance(plan, SetProbeFilter):
+        rows = execute_plan_interpreted(plan.input, database)
+        members = {make_hashable(v)
+                   for v in _iterate_set(
+                       evaluate(plan.set_expression, {}, database), plan)}
+        return [row for row in rows
+                if make_hashable(row.get(plan.ref)) in members]
+
+    if isinstance(plan, NestedLoopJoin):
+        left_rows = execute_plan_interpreted(plan.left, database)
+        right_rows = execute_plan_interpreted(plan.right, database)
+        result: list[Row] = []
+        for left_row in left_rows:
+            for right_row in right_rows:
+                combined = {**left_row, **right_row}
+                if evaluate_predicate(plan.condition, combined, database):
+                    result.append(combined)
+        return result
+
+    if isinstance(plan, HashJoin):
+        left_rows = execute_plan_interpreted(plan.left, database)
+        right_rows = execute_plan_interpreted(plan.right, database)
+        table: dict[Any, list[Row]] = defaultdict(list)
+        for right_row in right_rows:
+            key = make_hashable(evaluate(plan.right_key, right_row, database))
+            table[key].append(right_row)
+        result = []
+        for left_row in left_rows:
+            key = make_hashable(evaluate(plan.left_key, left_row, database))
+            for right_row in table.get(key, ()):
+                result.append({**left_row, **right_row})
+        return result
+
+    if isinstance(plan, NaturalMergeJoin):
+        left_rows = execute_plan_interpreted(plan.left, database)
+        right_rows = execute_plan_interpreted(plan.right, database)
+        common = plan.common_refs()
+        if not common:
+            # Degenerates to a cartesian product, as in the logical algebra.
+            return [{**l, **r} for l in left_rows for r in right_rows]
+        table = defaultdict(list)
+        for right_row in right_rows:
+            key = tuple(make_hashable(right_row.get(ref)) for ref in common)
+            table[key].append(right_row)
+        result = []
+        for left_row in left_rows:
+            key = tuple(make_hashable(left_row.get(ref)) for ref in common)
+            for right_row in table.get(key, ()):
+                result.append({**left_row, **right_row})
+        return result
+
+    if isinstance(plan, MapEval):
+        rows = execute_plan_interpreted(plan.input, database)
+        return [{**row, plan.ref: evaluate(plan.expression, row, database)}
+                for row in rows]
+
+    if isinstance(plan, FlattenEval):
+        rows = execute_plan_interpreted(plan.input, database)
+        result = []
+        for row in rows:
+            value = evaluate(plan.expression, row, database)
+            for element in _iterate_set(value, plan, allow_none=True):
+                result.append({**row, plan.ref: element})
+        return result
+
+    if isinstance(plan, ProjectOp):
+        rows = execute_plan_interpreted(plan.input, database)
+        return _distinct([{ref: row.get(ref) for ref in plan.kept} for row in rows])
+
+    if isinstance(plan, UnionOp):
+        left_rows = execute_plan_interpreted(plan.left, database)
+        right_rows = execute_plan_interpreted(plan.right, database)
+        return _distinct(left_rows + right_rows)
+
+    if isinstance(plan, DiffOp):
+        left_rows = execute_plan_interpreted(plan.left, database)
+        right_rows = execute_plan_interpreted(plan.right, database)
+        right_keys = {make_hashable(row) for row in right_rows}
+        return [row for row in _distinct(left_rows)
+                if make_hashable(row) not in right_keys]
+
+    raise ExecutionError(f"unknown physical operator {plan!r}")
+
+
+def _require_index(plan: IndexEqScan | IndexRangeScan, database: Database):
+    index = database.indexes.get(plan.class_name, plan.prop)
+    if index is None:
+        raise ExecutionError(
+            f"{plan.describe()} needs an index on "
+            f"{plan.class_name}.{plan.prop}, but none is registered")
+    return index
+
+
+def _iterate_set(value: Any, plan: PhysicalOperator,
+                 allow_none: bool = False) -> list[Any]:
+    """Interpret *value* as a set of elements for scanning/flattening."""
+    if value is None:
+        if allow_none:
+            return []
+        raise ExecutionError(
+            f"{plan.describe()} evaluated to None instead of a set")
+    if isinstance(value, (set, frozenset, list, tuple)):
+        seen: set[Any] = set()
+        elements: list[Any] = []
+        for element in value:
+            key = make_hashable(element)
+            if key not in seen:
+                seen.add(key)
+                elements.append(element)
+        return elements
+    # A scalar is treated as a singleton set, which keeps single-valued
+    # expressions (e.g. a path ending in a single object) usable in FROM.
+    return [value]
+
+
+def _distinct(rows: list[Row]) -> list[Row]:
+    seen: set[Any] = set()
+    result: list[Row] = []
+    for row in rows:
+        key = make_hashable(row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result

@@ -21,14 +21,16 @@ The physically interesting nodes for the paper's experiments are:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.algebra.expressions import Expression, free_vars
+from repro.algebra.expressions import Expression, cached_hash, free_vars
 from repro.errors import AlgebraError
 
 __all__ = [
     "PhysicalOperator",
     "ClassScan",
+    "IndexEqScan",
+    "IndexRangeScan",
     "ExpressionSetScan",
     "Filter",
     "SetProbeFilter",
@@ -64,6 +66,7 @@ class PhysicalOperator:
         return self.name
 
 
+@cached_hash
 @dataclass(frozen=True)
 class ClassScan(PhysicalOperator):
     """Sequential scan over a class extension."""
@@ -79,6 +82,64 @@ class ClassScan(PhysicalOperator):
         return f"class_scan<{self.ref}, {self.class_name}>"
 
 
+@cached_hash
+@dataclass(frozen=True)
+class IndexEqScan(PhysicalOperator):
+    """Exact-match lookup in a user-defined index on one property.
+
+    Produces the instances of *class_name* whose *prop* equals *key*, in
+    OID order, without scanning the class extension.  Implementation rules
+    create this node for ``select<a.prop == const>(get<a, C>)`` shapes when
+    the database's :class:`~repro.datamodel.indexes.IndexRegistry` holds a
+    matching index (hash or sorted — both support equality lookups)."""
+
+    ref: str
+    class_name: str
+    prop: str
+    key: Any
+    name = "index_eq_scan"
+
+    def refs(self) -> tuple[str, ...]:
+        return (self.ref,)
+
+    def describe(self) -> str:
+        return f"index_eq_scan<{self.ref}, {self.class_name}.{self.prop} == {self.key!r}>"
+
+
+@cached_hash
+@dataclass(frozen=True)
+class IndexRangeScan(PhysicalOperator):
+    """Range lookup in a sorted index on one property.
+
+    Produces the instances of *class_name* whose *prop* falls into the
+    interval described by ``low``/``high`` (``None`` means open-ended),
+    in OID order.  Requires a :class:`~repro.datamodel.indexes.SortedIndex`."""
+
+    ref: str
+    class_name: str
+    prop: str
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    name = "index_range_scan"
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise AlgebraError("IndexRangeScan needs at least one bound")
+
+    def refs(self) -> tuple[str, ...]:
+        return (self.ref,)
+
+    def describe(self) -> str:
+        low_bracket = "[" if self.include_low else "("
+        high_bracket = "]" if self.include_high else ")"
+        return (f"index_range_scan<{self.ref}, {self.class_name}.{self.prop} IN "
+                f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket}>")
+
+
+@cached_hash
 @dataclass(frozen=True)
 class ExpressionSetScan(PhysicalOperator):
     """Evaluate a reference-free set-valued expression once and emit one
@@ -101,6 +162,7 @@ class ExpressionSetScan(PhysicalOperator):
         return f"expr_set_scan<{self.ref}, {self.expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class Filter(PhysicalOperator):
     """Per-tuple predicate evaluation (may invoke methods per tuple)."""
@@ -123,6 +185,7 @@ class Filter(PhysicalOperator):
         return f"filter<{self.condition}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class SetProbeFilter(PhysicalOperator):
     """Precompute ``set_expression`` once, keep tuples with
@@ -156,6 +219,7 @@ class SetProbeFilter(PhysicalOperator):
         return f"set_probe<{self.ref} IS-IN {self.set_expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class NestedLoopJoin(PhysicalOperator):
     """Nested-loop θ-join; the condition is evaluated per tuple pair."""
@@ -179,6 +243,7 @@ class NestedLoopJoin(PhysicalOperator):
         return f"nested_loop_join<{self.condition}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class HashJoin(PhysicalOperator):
     """Equi-join on computed key expressions (build on the right input)."""
@@ -203,6 +268,7 @@ class HashJoin(PhysicalOperator):
         return f"hash_join<{self.left_key} == {self.right_key}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class NaturalMergeJoin(PhysicalOperator):
     """Natural join on the shared references (hash-based implementation)."""
@@ -228,6 +294,7 @@ class NaturalMergeJoin(PhysicalOperator):
         return "natural_join_impl"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class MapEval(PhysicalOperator):
     """Per-tuple computation of an expression into a new reference."""
@@ -251,6 +318,7 @@ class MapEval(PhysicalOperator):
         return f"map_eval<{self.ref}, {self.expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class FlattenEval(PhysicalOperator):
     """Per-tuple evaluation of a set-valued expression, emitting one tuple
@@ -275,6 +343,7 @@ class FlattenEval(PhysicalOperator):
         return f"flatten_eval<{self.ref}, {self.expression}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class ProjectOp(PhysicalOperator):
     """Projection with duplicate elimination (set semantics)."""
@@ -300,6 +369,7 @@ class ProjectOp(PhysicalOperator):
         return f"project_impl<{', '.join(self.kept)}>"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class UnionOp(PhysicalOperator):
     """Set union of two inputs over identical references."""
@@ -322,6 +392,7 @@ class UnionOp(PhysicalOperator):
         return "union_impl"
 
 
+@cached_hash
 @dataclass(frozen=True)
 class DiffOp(PhysicalOperator):
     """Set difference of two inputs over identical references."""

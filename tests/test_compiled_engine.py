@@ -1,0 +1,310 @@
+"""Tests for the compiled pipelined engine, the expression compiler and the
+index access paths (IndexEqScan / IndexRangeScan selection and execution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import BinaryOp, Const, Var
+from repro.algebra.operators import Get, Project, Select
+from repro.datamodel.database import Database
+from repro.datamodel.schema import ClassDef, PropertyDef, Schema
+from repro.datamodel.types import INT, STRING
+from repro.errors import ExecutionError
+from repro.physical.compiler import ExpressionCompiler
+from repro.physical.evaluator import evaluate
+from repro.physical.executor import execute_plan
+from repro.physical.interpreter import execute_plan_interpreted
+from repro.physical.naive import naive_implementation
+from repro.physical.plans import (
+    ClassScan,
+    Filter,
+    IndexEqScan,
+    IndexRangeScan,
+    walk_physical,
+)
+from repro.session import Session
+from repro.vql.parser import parse_expression
+from repro.workloads import (
+    TARGET_TITLE,
+    document_knowledge,
+    document_workload,
+    generate_document_database,
+)
+
+
+# ----------------------------------------------------------------------
+# expression compiler
+# ----------------------------------------------------------------------
+class TestExpressionCompiler:
+    @pytest.mark.parametrize("text,row", [
+        ("1 + 2 * 3", {}),
+        ("x - 1", {"x": 3}),
+        ("-x", {"x": 3}),
+        ("1 == 1", {}),
+        ("x < 3", {"x": None}),
+        ("'a' == 'a'", {}),
+        ("TRUE AND FALSE", {}),
+        ("NOT TRUE", {}),
+        ("x IS-IN s", {"x": 1, "s": {1, 2}}),
+        ("x IS-IN s", {"x": 5, "s": None}),
+    ])
+    def test_compiled_agrees_with_interpreter(self, doc_database, text, row):
+        expression = parse_expression(text)
+        compiled = ExpressionCompiler(doc_database).compile(expression)
+        assert compiled(row) == evaluate(expression, row, doc_database)
+
+    def test_property_and_method_access(self, doc_database):
+        paragraph = doc_database.extension("Paragraph")[0]
+        row = {"p": paragraph}
+        for text in ("p.number", "p.content", "p->document()",
+                     "(p->document()).title"):
+            expression = parse_expression(text)
+            compiled = ExpressionCompiler(doc_database).compile(expression)
+            assert compiled(row) == evaluate(expression, row, doc_database)
+
+    def test_lifted_access_over_sets(self, doc_database):
+        document = doc_database.extension("Document")[0]
+        row = {"d": document}
+        expression = parse_expression("d.sections.paragraphs")
+        compiled = ExpressionCompiler(doc_database).compile(expression)
+        assert compiled(row) == evaluate(expression, row, doc_database)
+
+    def test_constant_subexpressions_are_hoisted(self, doc_database):
+        compiled = ExpressionCompiler(doc_database).compile(
+            parse_expression("1 + 2 * 3"))
+        assert compiled.constant_value == 7
+        assert compiled({}) == 7
+
+    def test_failing_pure_expression_raises_at_evaluation(self, doc_database):
+        expression = parse_expression("1 / 0")
+        # Compilation must not raise; evaluation fails like the interpreter.
+        compiled = ExpressionCompiler(doc_database).compile(expression)
+        with pytest.raises(ZeroDivisionError):
+            compiled({})
+
+    def test_membership_against_constant_collection(self, doc_database):
+        expression = BinaryOp("IS-IN", Var("x"), Const([1, 2, 3]))
+        compiled = ExpressionCompiler(doc_database).compile(expression)
+        assert compiled({"x": 2}) is True
+        assert compiled({"x": 9}) is False
+
+    def test_unbound_reference_raises(self, doc_database):
+        compiled = ExpressionCompiler(doc_database).compile(Var("missing"))
+        with pytest.raises(ExecutionError):
+            compiled({})
+
+    def test_compiled_work_counters_match_interpreter(self, doc_database):
+        expression = parse_expression("(p->document()).title")
+        paragraph = doc_database.extension("Paragraph")[0]
+        row = {"p": paragraph}
+
+        doc_database.reset_statistics()
+        evaluate(expression, row, doc_database)
+        interpreted = doc_database.work_snapshot()
+
+        doc_database.reset_statistics()
+        ExpressionCompiler(doc_database).compile(expression)(row)
+        compiled = doc_database.work_snapshot()
+
+        assert compiled == interpreted
+
+
+# ----------------------------------------------------------------------
+# pipelined executor vs the reference interpreter
+# ----------------------------------------------------------------------
+class TestPipelinedExecutor:
+    def test_workload_queries_agree_with_interpreter(self, doc_session):
+        for query in document_workload():
+            translation = doc_session.translate(query.text)
+            for plan in (naive_implementation(translation.plan),
+                         doc_session.optimizer.optimize(translation.plan).best_plan):
+                compiled = execute_plan(plan, doc_session.database)
+                interpreted = execute_plan_interpreted(plan, doc_session.database)
+                assert compiled == interpreted, query.name
+
+    def test_work_counters_agree_with_interpreter(self, doc_session):
+        translation = doc_session.translate(
+            "ACCESS p FROM p IN Paragraph "
+            "WHERE p->contains_string('Implementation')")
+        plan = naive_implementation(translation.plan)
+        database = doc_session.database
+
+        database.reset_statistics()
+        execute_plan_interpreted(plan, database)
+        interpreted = database.work_snapshot()
+
+        database.reset_statistics()
+        execute_plan(plan, database)
+        compiled = database.work_snapshot()
+
+        assert compiled == interpreted
+
+    def test_unknown_operator_raises(self, doc_database):
+        class Bogus:
+            pass
+
+        with pytest.raises(ExecutionError):
+            execute_plan(Bogus(), doc_database)
+
+
+# ----------------------------------------------------------------------
+# index access paths: execution
+# ----------------------------------------------------------------------
+class TestIndexScanExecution:
+    def test_index_eq_scan_matches_filter(self, doc_database):
+        scan = IndexEqScan("d", "Document", "title", TARGET_TITLE)
+        condition = parse_expression(f"d.title == '{TARGET_TITLE}'")
+        filtered = Filter(condition, ClassScan("d", "Document"))
+        via_index = execute_plan(scan, doc_database)
+        via_filter = execute_plan(filtered, doc_database)
+        assert via_index
+        assert {row["d"] for row in via_index} == {row["d"] for row in via_filter}
+        # both engines agree on the new operator
+        assert execute_plan_interpreted(scan, doc_database) == via_index
+
+    def test_index_eq_scan_without_index_raises(self, doc_database):
+        scan = IndexEqScan("p", "Paragraph", "number", 1)
+        with pytest.raises(ExecutionError):
+            execute_plan(scan, doc_database)
+
+    def test_index_range_scan_matches_filter(self):
+        database = generate_document_database(n_documents=3)
+        database.create_sorted_index("Paragraph", "number")
+        scan = IndexRangeScan("p", "Paragraph", "number", low=2, high=4,
+                              include_low=True, include_high=False)
+        condition = parse_expression("p.number >= 2 AND p.number < 4")
+        filtered = Filter(condition, ClassScan("p", "Paragraph"))
+        via_index = execute_plan(scan, database)
+        via_filter = execute_plan(filtered, database)
+        assert via_index
+        assert {row["p"] for row in via_index} == {row["p"] for row in via_filter}
+        assert execute_plan_interpreted(scan, database) == via_index
+
+    def test_index_range_scan_requires_sorted_index(self):
+        database = generate_document_database(n_documents=2)
+        # Document.title has a *hash* index; range scans must reject it.
+        scan = IndexRangeScan("d", "Document", "title", low="A")
+        with pytest.raises(ExecutionError):
+            execute_plan(scan, database)
+
+    def test_index_covers_objects_created_after_index(self):
+        schema = Schema("tiny")
+        item = ClassDef("Item")
+        item.add_property(PropertyDef("name", STRING))
+        item.add_property(PropertyDef("size", INT))
+        schema.add_class(item)
+        database = Database(schema)
+        database.create(  # indexed at backfill time
+            "Item", name="early", size=1)
+        database.create_hash_index("Item", "name")
+        late = database.create("Item", name="late", size=2)
+
+        rows = execute_plan(IndexEqScan("i", "Item", "name", "late"), database)
+        assert [row["i"] for row in rows] == [late]
+
+    def test_none_values_are_not_indexed(self):
+        """Creating/updating objects with None values must not crash sorted
+        indexes (None is unorderable) and None never matches an index scan,
+        mirroring the evaluator's None comparison semantics."""
+        schema = Schema("tiny")
+        base = ClassDef("Base")
+        base.add_property(PropertyDef("n", INT))
+        schema.add_class(base)
+        sub = ClassDef("Sub", superclass="Base")
+        schema.add_class(sub)
+        database = Database(schema)
+        kept = database.create("Base", n=5)
+        database.create_sorted_index("Base", "n")
+
+        # a subclass instance with an explicit None reaches the ancestor
+        # index's maintenance path — it must be skipped, not inserted
+        none_sub = database.create("Sub", n=None)
+        rows = execute_plan(IndexRangeScan("b", "Base", "n", low=0), database)
+        assert [row["b"] for row in rows] == [kept]
+
+        # transitions: None -> value inserts, value -> None removes
+        database.set_value(none_sub, "n", 7)
+        rows = execute_plan(IndexRangeScan("b", "Base", "n", low=6), database)
+        assert [row["b"] for row in rows] == [none_sub]
+        database.set_value(none_sub, "n", None)
+        rows = execute_plan(IndexRangeScan("b", "Base", "n", low=6), database)
+        assert rows == []
+
+    def test_index_follows_property_updates(self):
+        schema = Schema("tiny")
+        item = ClassDef("Item")
+        item.add_property(PropertyDef("name", STRING))
+        schema.add_class(item)
+        database = Database(schema)
+        oid = database.create("Item", name="before")
+        database.create_hash_index("Item", "name")
+        database.set_value(oid, "name", "after")
+
+        assert execute_plan(IndexEqScan("i", "Item", "name", "before"),
+                            database) == []
+        rows = execute_plan(IndexEqScan("i", "Item", "name", "after"), database)
+        assert [row["i"] for row in rows] == [oid]
+
+
+# ----------------------------------------------------------------------
+# index access paths: optimizer selection
+# ----------------------------------------------------------------------
+class TestIndexScanSelection:
+    def test_optimizer_selects_index_eq_scan(self, doc_session):
+        """Acceptance: an equality filter on an indexed property is
+        implemented by an IndexEqScan, not a full scan + filter."""
+        result = doc_session.execute(
+            f"ACCESS d FROM d IN Document WHERE d.title == '{TARGET_TITLE}'")
+        nodes = list(walk_physical(result.physical_plan))
+        assert any(isinstance(node, IndexEqScan) for node in nodes)
+        assert not any(isinstance(node, ClassScan) for node in nodes)
+        assert len(result.rows) == 1
+
+    def test_index_eq_scan_results_match_naive(self, doc_session):
+        query = f"ACCESS d FROM d IN Document WHERE d.title == '{TARGET_TITLE}'"
+        optimized = doc_session.execute(query)
+        naive = doc_session.execute_naive(query)
+        assert optimized.value_set() == naive.value_set()
+
+    def test_optimizer_selects_index_range_scan(self):
+        database = generate_document_database(n_documents=4)
+        database.create_sorted_index("Paragraph", "number")
+        session = Session(database,
+                          knowledge=document_knowledge(database.schema))
+        result = session.execute(
+            "ACCESS p FROM p IN Paragraph WHERE p.number >= 2 AND p.number < 4")
+        nodes = list(walk_physical(result.physical_plan))
+        scans = [node for node in nodes if isinstance(node, IndexRangeScan)]
+        assert scans
+        assert scans[0].low == 2 and scans[0].include_low
+        assert scans[0].high == 4 and not scans[0].include_high
+        assert result.value_set() == session.execute_naive(
+            "ACCESS p FROM p IN Paragraph WHERE p.number >= 2 AND p.number < 4"
+        ).value_set()
+
+    def test_residual_conjuncts_stay_as_filter(self, doc_session):
+        query = (f"ACCESS d FROM d IN Document "
+                 f"WHERE d.title == '{TARGET_TITLE}' AND d.author != 'nobody'")
+        result = doc_session.execute(query)
+        nodes = list(walk_physical(result.physical_plan))
+        assert any(isinstance(node, IndexEqScan) for node in nodes)
+        assert any(isinstance(node, Filter) for node in nodes)
+        assert result.value_set() == doc_session.execute_naive(query).value_set()
+
+    def test_no_index_means_no_index_scan(self, doc_session):
+        # Paragraph.number has no index in the generated database.
+        result = doc_session.optimize(
+            "ACCESS p FROM p IN Paragraph WHERE p.number == 1")
+        nodes = list(walk_physical(result.best_plan))
+        assert not any(isinstance(node, (IndexEqScan, IndexRangeScan))
+                       for node in nodes)
+
+    def test_index_scan_beats_select_by_index_method(self, doc_session):
+        """The direct index access path is cheaper than the method-
+        encapsulated lookup (select_by_index), so the optimizer prefers it."""
+        result = doc_session.optimize(
+            f"ACCESS d FROM d IN Document WHERE d.title == '{TARGET_TITLE}'")
+        assert any(isinstance(node, IndexEqScan)
+                   for node in walk_physical(result.best_plan))
+        assert "index_eq_scan" in result.explain()

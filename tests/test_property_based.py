@@ -21,17 +21,19 @@ from repro.algebra.expressions import (
     walk,
 )
 from repro.algebra.normalize import normalize
-from repro.algebra.operators import Get, Project, Select
+from repro.algebra.operators import Diff, Get, Map, Project, Select, Union
 from repro.datamodel.indexes import HashIndex, SortedIndex
 from repro.datamodel.ir import InvertedTextIndex, tokenize
 from repro.datamodel.oid import OID
 from repro.optimizer.patterns import instantiate, match_expression, pattern_from_template
 from repro.physical.evaluator import evaluate, make_hashable
 from repro.physical.executor import execute_plan
+from repro.physical.interpreter import execute_plan_interpreted
 from repro.physical.naive import naive_implementation
 from repro.physical.restricted_exec import execute_restricted
+from repro.session import Session
 from repro.vql.parser import parse_expression
-from repro.workloads import generate_document_database
+from repro.workloads import document_knowledge, generate_document_database
 
 # ----------------------------------------------------------------------
 # strategies
@@ -220,3 +222,51 @@ class TestAlgebraSemanticsProperties:
 
         for row in _ROWS[:8]:
             assert bool(evaluate(condition, row, _DB)) == bool(python_eval(condition, row))
+
+
+# ----------------------------------------------------------------------
+# differential testing: compiled pipelined engine vs reference interpreter
+# ----------------------------------------------------------------------
+_SESSION = Session(_DB, knowledge=document_knowledge(_DB.schema))
+
+_PLAN_SHAPES = st.sampled_from(["select", "project", "union", "diff", "map"])
+
+
+def _paragraph_select(condition):
+    rewritten = substitute(condition, {"n1": parse_expression("p.number"),
+                                       "n2": parse_expression("p.number")})
+    return Select(rewritten, Get("p", "Paragraph"))
+
+
+class TestCompiledEngineDifferential:
+    """The compiled pipelined executor must return exactly the rows of the
+    retained reference interpreter on randomized plans."""
+
+    @given(boolean_conditions(), boolean_conditions(), _PLAN_SHAPES)
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_matches_reference_on_random_plans(self, first, second,
+                                                        shape):
+        base = _paragraph_select(first)
+        other = _paragraph_select(second)
+        if shape == "select":
+            plan = base
+        elif shape == "project":
+            plan = Project(("p",), base)
+        elif shape == "union":
+            plan = Union(base, other)
+        elif shape == "diff":
+            plan = Diff(base, other)
+        else:
+            plan = Map("w", parse_expression("p.number + 1"), base)
+        physical = naive_implementation(plan)
+        compiled = execute_plan(physical, _DB)
+        reference = execute_plan_interpreted(physical, _DB)
+        # exact equality: same rows, same multiplicities, same order
+        assert compiled == reference
+
+    @given(boolean_conditions())
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_matches_reference_on_optimized_plans(self, condition):
+        plan = Project(("p",), _paragraph_select(condition))
+        best = _SESSION.optimizer.optimize(plan).best_plan
+        assert execute_plan(best, _DB) == execute_plan_interpreted(best, _DB)
