@@ -19,14 +19,20 @@ select_by_index) and times the end-to-end optimize+execute pipeline across
 database sizes.  It also verifies that the structural-only optimizer cannot
 reach this plan, the paper's "there is no way for the optimizer to derive the
 final query plan ... without having schema-specific information" claim.
+
+Run standalone (emits a JSON perf record):
+
+    PYTHONPATH=src python benchmarks/bench_exp1_motivating_query.py [--quick] [--json PATH]
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from conftest import SCALING_SIZES, semantic_session, structural_session
-from repro.bench import format_table
+from repro.bench import format_table, standalone_main
 from repro.physical.plans import ClassScan, ExpressionSetScan, Filter, walk_physical
 from repro.workloads import motivating_query
 
@@ -88,3 +94,57 @@ def test_exp1_structural_optimizer_cannot_reach_pq(benchmark, n_documents):
     # per-paragraph external calls remain
     assert result.work["ir_calls"] > 1
     print("\nEXP-1 structural-only plan shape:", shape)
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (shared harness conventions)
+# ----------------------------------------------------------------------
+def run_cases(quick: bool = False) -> list[dict]:
+    sizes = SCALING_SIZES[:1] if quick else SCALING_SIZES
+    cases = []
+    for n_documents in sizes:
+        session = semantic_session(n_documents)
+        session.database.reset_statistics()
+        result = session.execute(QUERY)
+        shape = _plan_shape(result.physical_plan)
+        cases.append({
+            "case": f"semantic[{n_documents}]",
+            "n_documents": n_documents,
+            "rows": len(result),
+            "external_calls": int(result.work["external_method_calls"]),
+            "cost_units": round(result.work["total_cost_units"], 1),
+            "plans_explored":
+                result.optimization.statistics.logical_plans_explored,
+            **shape,
+        })
+    structural = structural_session(sizes[0])
+    structural.database.reset_statistics()
+    result = structural.execute(QUERY)
+    cases.append({
+        "case": f"structural[{sizes[0]}]",
+        "n_documents": sizes[0],
+        "rows": len(result),
+        "external_calls": int(result.work["external_method_calls"]),
+        "cost_units": round(result.work["total_cost_units"], 1),
+        "plans_explored":
+            result.optimization.statistics.logical_plans_explored,
+        **_plan_shape(result.physical_plan),
+    })
+    return cases
+
+
+def check(record: dict) -> str | None:
+    semantic = [c for c in record["cases"] if c["case"].startswith("semantic")]
+    if any(c["class_scans"] != 0 or c["filters"] != 0 for c in semantic):
+        return "semantic plan is not PQ-shaped (class scans or filters remain)"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    return standalone_main("exp1-motivating-query", run_cases,
+                           description=__doc__.splitlines()[0],
+                           check=check, argv=argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

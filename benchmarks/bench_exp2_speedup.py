@@ -10,14 +10,20 @@ in logical work and external calls is reported.
 Expected shape: the naive cost grows linearly with the number of paragraphs
 (one contains_string call each), the optimized cost stays essentially flat,
 so the speedup grows roughly linearly with database size.
+
+Run standalone (emits a JSON perf record):
+
+    PYTHONPATH=src python benchmarks/bench_exp2_speedup.py [--quick] [--json PATH]
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from conftest import SCALING_SIZES, semantic_session
-from repro.bench import format_table, measure_query, speedup
+from repro.bench import format_table, measure_query, speedup, standalone_main
 from repro.workloads import motivating_query
 
 QUERY = motivating_query().text
@@ -72,3 +78,46 @@ def test_exp2_speedup_grows_with_database_size(benchmark):
                         for n, r in ratios]))
     values = [ratio for _, ratio in ratios]
     assert values == sorted(values), "speedup should grow with database size"
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (shared harness conventions)
+# ----------------------------------------------------------------------
+def run_cases(quick: bool = False) -> list[dict]:
+    sizes = SCALING_SIZES[:2] if quick else SCALING_SIZES
+    cases = []
+    for n_documents in sizes:
+        session = semantic_session(n_documents)
+        naive = measure_query(session, QUERY, f"naive[{n_documents}]",
+                              optimize=False)
+        optimized = measure_query(session, QUERY, f"optimized[{n_documents}]")
+        assert naive.rows == optimized.rows
+        cases.append({
+            "case": f"n={n_documents}",
+            "n_documents": n_documents,
+            "rows": optimized.rows,
+            "naive_cost_units": round(naive.cost_units, 1),
+            "optimized_cost_units": round(optimized.cost_units, 1),
+            "work_speedup": round(speedup(naive, optimized, "cost_units"), 1),
+            "call_speedup": round(speedup(naive, optimized, "external_calls"), 1),
+        })
+    return cases
+
+
+def check(record: dict) -> str | None:
+    if any(case["work_speedup"] <= 10 for case in record["cases"]):
+        return "optimized plan is not >10x cheaper than naive at every size"
+    ratios = [case["work_speedup"] for case in record["cases"]]
+    if ratios != sorted(ratios):
+        return "speedup does not grow with database size"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    return standalone_main("exp2-speedup", run_cases,
+                           description=__doc__.splitlines()[0],
+                           check=check, argv=argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,14 +17,19 @@ Expected shape:
   turned into an index lookup + inverse-link navigation, so the plan falls
   back to scanning;
 * without any semantic knowledge → the naive-shaped plan.
+Run standalone (emits a JSON perf record):
+
+    PYTHONPATH=src python benchmarks/bench_exp3_ablation.py [--quick] [--json PATH]
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
-from conftest import DEFAULT_SIZE, semantic_session
-from repro.bench import format_table, measure_query
+from conftest import DEFAULT_SIZE, SCALING_SIZES, semantic_session
+from repro.bench import format_table, measure_query, standalone_main
 from repro.workloads import motivating_query
 
 QUERY = motivating_query().text
@@ -88,3 +93,44 @@ def test_exp3_full_knowledge_is_best(benchmark):
     # then evaluated per candidate paragraph.
     assert (measurements["no-query-method-equivalence"].external_calls
             > measurements["full-knowledge"].external_calls)
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (shared harness conventions)
+# ----------------------------------------------------------------------
+def run_cases(quick: bool = False) -> list[dict]:
+    size = SCALING_SIZES[0] if quick else DEFAULT_SIZE
+    cases = []
+    for label, excluded in ABLATIONS:
+        session = semantic_session(size, exclude_tags=tuple(excluded))
+        measurement = measure_query(session, QUERY, label=label)
+        cases.append({
+            "case": label,
+            "n_documents": size,
+            "rows": measurement.rows,
+            "cost_units": round(measurement.cost_units, 1),
+            "method_calls": int(measurement.method_calls),
+            "external_calls": int(measurement.external_calls),
+        })
+    return cases
+
+
+def check(record: dict) -> str | None:
+    by_case = {case["case"]: case for case in record["cases"]}
+    if len({case["rows"] for case in record["cases"]}) != 1:
+        return "ablations changed query results"
+    full = by_case["full-knowledge"]["cost_units"]
+    none = by_case["no-semantics-at-all"]["cost_units"]
+    if not none > full * 10:
+        return "removing all semantic knowledge is not >10x more expensive"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    return standalone_main("exp3-ablation", run_cases,
+                           description=__doc__.splitlines()[0],
+                           check=check, argv=argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

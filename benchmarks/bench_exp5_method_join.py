@@ -10,14 +10,20 @@ that a hash join evaluates with linear method/property work.
 
 Expected shape: naive method invocations grow quadratically, optimized work
 grows linearly; the speedup therefore grows with database size.
+
+Run standalone (emits a JSON perf record):
+
+    PYTHONPATH=src python benchmarks/bench_exp5_method_join.py [--quick] [--json PATH]
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from conftest import semantic_session
-from repro.bench import format_table, measure_query, speedup
+from repro.bench import format_table, measure_query, speedup, standalone_main
 from repro.physical.plans import HashJoin, NestedLoopJoin, walk_physical
 from repro.workloads import same_document_join_query
 
@@ -73,3 +79,50 @@ def test_exp5_speedup_grows_quadratically(benchmark):
                         for n, r in ratios]))
     values = [ratio for _, ratio in ratios]
     assert values == sorted(values)
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (shared harness conventions)
+# ----------------------------------------------------------------------
+def run_cases(quick: bool = False) -> list[dict]:
+    sizes = JOIN_SIZES[:2] if quick else JOIN_SIZES
+    cases = []
+    for n_documents in sizes:
+        session = semantic_session(n_documents)
+        naive = measure_query(session, QUERY, f"naive[{n_documents}]",
+                              optimize=False)
+        optimized = measure_query(session, QUERY, f"optimized[{n_documents}]")
+        assert naive.rows == optimized.rows
+        nodes = list(walk_physical(session.optimize(QUERY).best_plan))
+        cases.append({
+            "case": f"n={n_documents}",
+            "n_documents": n_documents,
+            "rows": optimized.rows,
+            "naive_method_calls": int(naive.method_calls),
+            "optimized_method_calls": int(optimized.method_calls),
+            "method_call_speedup":
+                round(speedup(naive, optimized, "method_calls"), 1),
+            "uses_hash_join": any(isinstance(n, HashJoin) for n in nodes),
+            "uses_nested_loop": any(isinstance(n, NestedLoopJoin)
+                                    for n in nodes),
+        })
+    return cases
+
+
+def check(record: dict) -> str | None:
+    for case in record["cases"]:
+        if not case["uses_hash_join"] or case["uses_nested_loop"]:
+            return f"{case['case']}: optimized plan is not a pure hash join"
+        if case["method_call_speedup"] <= 10:
+            return f"{case['case']}: method-call speedup below 10x"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    return standalone_main("exp5-method-join", run_cases,
+                           description=__doc__.splitlines()[0],
+                           check=check, argv=argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

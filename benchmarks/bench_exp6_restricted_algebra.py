@@ -6,16 +6,22 @@ expressive power: expression composition becomes operator composition.  This
 experiment normalizes every workload query from the general to the restricted
 algebra, executes both forms, verifies the results coincide, and measures the
 overhead of the decomposition (operator count and execution time).
+
+Run standalone (emits a JSON perf record):
+
+    PYTHONPATH=src python benchmarks/bench_exp6_restricted_algebra.py [--quick] [--json PATH]
 """
 
 from __future__ import annotations
+
+import sys
 
 import pytest
 
 from conftest import SCALING_SIZES, semantic_session
 from repro.algebra.normalize import normalize
 from repro.algebra.operators import operator_size
-from repro.bench import format_table
+from repro.bench import format_table, standalone_main
 from repro.physical.evaluator import make_hashable
 from repro.physical.executor import execute_plan
 from repro.physical.naive import naive_implementation
@@ -70,3 +76,52 @@ def test_exp6_operator_blowup_summary(benchmark):
     print("\nEXP-6 operator counts (general vs restricted):")
     print(format_table(rows))
     assert all(row["restricted_ops"] >= row["general_ops"] for row in rows)
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (shared harness conventions)
+# ----------------------------------------------------------------------
+def run_cases(quick: bool = False) -> list[dict]:
+    session = semantic_session(SCALING_SIZES[0])
+    queries = QUERIES[:3] if quick else QUERIES
+    cases = []
+    for query in queries:
+        translation = session.translate(query.text)
+        restricted = normalize(translation.plan)
+        general_rows = execute_plan(naive_implementation(translation.plan),
+                                    session.database)
+        restricted_rows = execute_restricted(restricted, session.database)
+
+        def projected(rows):
+            return {make_hashable(row.get(translation.output_ref))
+                    for row in rows}
+
+        cases.append({
+            "case": query.name,
+            "rows": len(general_rows),
+            "results_match": projected(general_rows) == projected(restricted_rows),
+            "general_ops": operator_size(translation.plan),
+            "restricted_ops": operator_size(restricted),
+            "blowup": round(operator_size(restricted)
+                            / operator_size(translation.plan), 2),
+        })
+    return cases
+
+
+def check(record: dict) -> str | None:
+    for case in record["cases"]:
+        if not case["results_match"]:
+            return f"{case['case']}: restricted algebra changed the result"
+        if case["restricted_ops"] < case["general_ops"]:
+            return f"{case['case']}: restricted form lost operators"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    return standalone_main("exp6-restricted-algebra", run_cases,
+                           description=__doc__.splitlines()[0],
+                           check=check, argv=argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

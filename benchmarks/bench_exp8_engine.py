@@ -24,13 +24,11 @@ or under pytest:
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
 
 from conftest import DEFAULT_SIZE, SCALING_SIZES, semantic_session
-from repro.bench import format_table
+from repro.bench import best_of as _best_of
+from repro.bench import format_table, standalone_main
 from repro.physical.executor import execute_plan
 from repro.physical.interpreter import execute_plan_interpreted
 from repro.physical.naive import naive_implementation
@@ -46,15 +44,6 @@ def _physical_plan(session, query_text: str, optimize: bool):
     if optimize:
         return session.optimizer.optimize(translation.plan).best_plan
     return naive_implementation(translation.plan)
-
-
-def _best_of(function, rounds: int) -> float:
-    best = float("inf")
-    for _ in range(rounds):
-        started = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 def _measure_case(name: str, n_documents: int, query_text: str,
@@ -105,16 +94,19 @@ def run_cases(quick: bool = False) -> list[dict]:
     ]
 
 
-def perf_record(cases: list[dict], quick: bool) -> dict:
+def summarize(cases: list[dict]) -> dict:
     exp2 = next(case for case in cases if case["case"] == "exp2-speedup-naive")
     return {
-        "benchmark": "exp8-engine",
-        "quick": quick,
-        "python": sys.version.split()[0],
         "exp2_speedup": exp2["speedup"],
         "exp2_speedup_target": EXP2_MIN_SPEEDUP,
-        "cases": cases,
     }
+
+
+def check(record: dict) -> str | None:
+    if record["exp2_speedup"] < EXP2_MIN_SPEEDUP:
+        return (f"exp2 speedup {record['exp2_speedup']}x is below the "
+                f"{EXP2_MIN_SPEEDUP}x target")
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -151,32 +143,9 @@ def test_exp8_engines_agree_on_all_workload_cases(benchmark):
 # standalone CLI
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller databases and fewer rounds (CI smoke)")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="also write the JSON perf record to PATH")
-    parser.add_argument("--check", action="store_true",
-                        help="exit non-zero unless the exp2 speedup target is met")
-    args = parser.parse_args(argv)
-
-    cases = run_cases(quick=args.quick)
-    record = perf_record(cases, quick=args.quick)
-
-    print("EXP-8 compiled pipelined engine vs seed interpreter:")
-    print(format_table(cases))
-    print()
-    print(json.dumps(record, indent=2))
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(record, handle, indent=2)
-        print(f"\nperf record written to {args.json}")
-
-    if args.check and record["exp2_speedup"] < EXP2_MIN_SPEEDUP:
-        print(f"FAIL: exp2 speedup {record['exp2_speedup']}x is below the "
-              f"{EXP2_MIN_SPEEDUP}x target", file=sys.stderr)
-        return 1
-    return 0
+    return standalone_main("exp8-engine", run_cases,
+                           description=__doc__.splitlines()[0],
+                           summarize=summarize, check=check, argv=argv)
 
 
 if __name__ == "__main__":

@@ -25,16 +25,19 @@ Quickstart::
     print(result.values)
 """
 
-from repro.engine import open_session, run_query
+from repro.engine import open_service, open_session, run_query
 from repro.errors import ReproError
+from repro.service.service import QueryService
 from repro.session import QueryResult, Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "open_session",
+    "open_service",
     "run_query",
     "Session",
+    "QueryService",
     "QueryResult",
     "ReproError",
     "__version__",

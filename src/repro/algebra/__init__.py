@@ -8,6 +8,7 @@ from repro.algebra.expressions import (
     Const,
     Expression,
     MethodCall,
+    Parameter,
     PatternVar,
     PropertyAccess,
     SetConstructor,
@@ -17,8 +18,10 @@ from repro.algebra.expressions import (
     conjuncts,
     contains,
     free_vars,
+    bind_parameters,
     make_conjunction,
     methods_used,
+    parameters_used,
     properties_used,
     rename_vars,
     replace_subexpression,
@@ -70,9 +73,10 @@ from repro.algebra.visitors import (
 
 __all__ = [
     # expressions
-    "Expression", "Var", "Const", "PropertyAccess", "MethodCall",
+    "Expression", "Var", "Const", "Parameter", "PropertyAccess", "MethodCall",
     "ClassMethodCall", "ClassExtent", "BinaryOp", "UnaryOp",
     "TupleConstructor", "SetConstructor", "PatternVar",
+    "bind_parameters", "parameters_used",
     "free_vars", "substitute", "replace_subexpression", "walk", "contains",
     "conjuncts", "make_conjunction", "rename_vars", "methods_used",
     "properties_used",

@@ -28,6 +28,7 @@ __all__ = [
     "Expression",
     "Var",
     "Const",
+    "Parameter",
     "PropertyAccess",
     "MethodCall",
     "ClassMethodCall",
@@ -50,6 +51,8 @@ __all__ = [
     "rename_vars",
     "methods_used",
     "properties_used",
+    "parameters_used",
+    "bind_parameters",
 ]
 
 #: comparison operators of the restricted algebra's θ parameter
@@ -150,6 +153,35 @@ class Const(Expression):
         if isinstance(self.value, str):
             return f"'{self.value}'"
         return str(self.value)
+
+
+@cached_hash
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A bind-parameter placeholder (``?`` / ``?3`` positional, ``:name``).
+
+    Parameters are opaque typed constants to the optimizer: a plan prepared
+    from a parametrized query is valid for *every* binding, so the plan cache
+    can serve repeated executions of the same query shape.  The value is
+    supplied at execution time — either by substitution
+    (:func:`bind_parameters`, used by the interpretive paths) or by the
+    compiled engine's binding environment
+    (:class:`repro.service.prepared.BindingEnv`).
+
+    ``key`` is the canonical name: positional parameters use their decimal
+    position (``"1"``, ``"2"``, …), named parameters their identifier.
+    """
+
+    key: str
+
+    @property
+    def is_positional(self) -> bool:
+        return self.key.isdigit()
+
+    def __str__(self) -> str:
+        if self.is_positional:
+            return f"?{self.key}"
+        return f":{self.key}"
 
 
 @cached_hash
@@ -364,6 +396,31 @@ def methods_used(expr: Expression) -> set[tuple[str, str]]:
 def properties_used(expr: Expression) -> set[str]:
     """All property names accessed in *expr*."""
     return {node.prop for node in walk(expr) if isinstance(node, PropertyAccess)}
+
+
+def parameters_used(expr: Expression) -> list[str]:
+    """Keys of all :class:`Parameter` leaves, in first-occurrence order."""
+    found: list[str] = []
+    for node in walk(expr):
+        if isinstance(node, Parameter) and node.key not in found:
+            found.append(node.key)
+    return found
+
+
+def bind_parameters(expr: Expression, bindings: Mapping[str, Any]) -> Expression:
+    """Replace every :class:`Parameter` whose key appears in *bindings* with
+    the bound value as a :class:`Const` (values are frozen by ``Const``)."""
+    if isinstance(expr, Parameter):
+        if expr.key in bindings:
+            return Const(bindings[expr.key])
+        return expr
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [bind_parameters(child, bindings) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expr
+    return expr.rebuild(new_children)
 
 
 def substitute(expr: Expression, mapping: Mapping[str, Expression]) -> Expression:

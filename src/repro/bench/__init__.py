@@ -2,16 +2,22 @@
 
 from repro.bench.harness import (
     Measurement,
+    best_of,
     comparison_table,
     format_table,
     measure_query,
+    perf_record,
     speedup,
+    standalone_main,
 )
 
 __all__ = [
     "Measurement",
+    "best_of",
     "measure_query",
     "comparison_table",
     "format_table",
+    "perf_record",
     "speedup",
+    "standalone_main",
 ]

@@ -10,10 +10,20 @@ Benchmarks report two kinds of numbers:
 The helpers here execute a query under a session, capture the work
 difference, and format small report tables so the benchmarks print the
 series that EXPERIMENTS.md records.
+
+Every benchmark is also runnable standalone (``python benchmarks/
+bench_expN_*.py [--quick] [--json PATH] [--check]``) through
+:func:`standalone_main`, which provides the shared CLI: ``--quick`` shrinks
+databases/rounds for CI smoke runs, ``--json`` writes the machine-readable
+perf record (:func:`perf_record` fixes its envelope), and ``--check`` turns
+a benchmark's acceptance condition into the exit code.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
@@ -21,7 +31,7 @@ from typing import Callable, Mapping, Optional, Sequence
 from repro.session import QueryResult, Session
 
 __all__ = ["Measurement", "measure_query", "comparison_table", "format_table",
-           "speedup"]
+           "speedup", "best_of", "perf_record", "standalone_main"]
 
 
 @dataclass
@@ -97,6 +107,73 @@ def comparison_table(measurements: Sequence[Measurement]) -> str:
     """Format measurements as an aligned text table."""
     rows = [m.as_row() for m in measurements]
     return format_table(rows)
+
+
+def best_of(function: Callable[[], object], rounds: int) -> float:
+    """Best wall-clock time of *rounds* calls to *function* (seconds)."""
+    best = float("inf")
+    for _ in range(max(rounds, 1)):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def perf_record(benchmark: str, quick: bool, cases: Sequence[Mapping[str, object]],
+                **extra: object) -> dict:
+    """The JSON perf-record envelope shared by all benchmarks."""
+    record: dict = {
+        "benchmark": benchmark,
+        "quick": quick,
+        "python": sys.version.split()[0],
+    }
+    record.update(extra)
+    record["cases"] = list(cases)
+    return record
+
+
+def standalone_main(benchmark: str,
+                    run_cases: Callable[[bool], list[dict]],
+                    description: str = "",
+                    summarize: Optional[Callable[[list[dict]], dict]] = None,
+                    check: Optional[Callable[[dict], Optional[str]]] = None,
+                    argv: Optional[list[str]] = None) -> int:
+    """Shared standalone CLI for one benchmark.
+
+    *run_cases(quick)* produces the case records; *summarize(cases)* may add
+    record-level summary fields; *check(record)* returns an error message
+    (exit code 1) when the benchmark's acceptance condition fails and
+    ``--check`` was requested.
+    """
+    parser = argparse.ArgumentParser(
+        description=description or f"{benchmark} benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller databases and fewer rounds (CI smoke)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the JSON perf record to PATH")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the acceptance condition fails")
+    args = parser.parse_args(argv)
+
+    cases = run_cases(args.quick)
+    extra = summarize(cases) if summarize is not None else {}
+    record = perf_record(benchmark, args.quick, cases, **extra)
+
+    print(f"{benchmark}:")
+    print(format_table(cases))
+    print()
+    print(json.dumps(record, indent=2, default=str))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, default=str)
+        print(f"\nperf record written to {args.json}")
+
+    if args.check and check is not None:
+        failure = check(record)
+        if failure:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def format_table(rows: Sequence[Mapping[str, object]],

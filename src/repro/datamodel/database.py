@@ -9,6 +9,7 @@ performs so that query plans can be compared quantitatively.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from repro.datamodel.indexes import HashIndex, IndexRegistry, SortedIndex
@@ -24,7 +25,29 @@ from repro.errors import (
     TypeMismatchError,
 )
 
-__all__ = ["Database", "InvocationContext"]
+__all__ = ["Database", "InvocationContext", "VersionClock"]
+
+
+@dataclass
+class VersionClock:
+    """Monotonic change counters the plan cache validates cached plans against.
+
+    * ``schema`` — class/property/method definitions (static schemas never
+      bump it; callers that mutate a schema in place must call
+      :meth:`Database.bump_schema_version`);
+    * ``index`` — user-defined index and text-index DDL (create/drop);
+    * ``data`` — object creates and property writes.  Cached plans stay
+      *correct* under data changes (all reads happen at execution time), so
+      the cache treats this counter as a staleness signal for re-optimizing,
+      not a strict invalidator.
+    """
+
+    schema: int = 0
+    index: int = 0
+    data: int = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.schema, self.index, self.data)
 
 
 class InvocationContext:
@@ -70,6 +93,7 @@ class Database:
         self.indexes = IndexRegistry()
         self._text_indexes: dict[tuple[str, str], InvertedTextIndex] = {}
         self.statistics = DatabaseStatistics()
+        self.versions = VersionClock()
         self._context = InvocationContext(self)
 
     # ------------------------------------------------------------------
@@ -99,6 +123,7 @@ class Database:
         self._objects[oid] = obj
         self._extensions[class_name].append(oid)
         self.statistics.record_object_created()
+        self.versions.data += 1
         self._index_new_object(class_name, oid, values)
         del class_def  # looked up only for existence checking
         return oid
@@ -162,6 +187,7 @@ class Database:
         had = obj.has(prop)
         obj.set(prop, value)
         self.statistics.record_property_write()
+        self.versions.data += 1
         for owner in self._class_and_ancestors(obj.class_name):
             index = self.indexes.get(owner, prop)
             if index is not None:
@@ -350,6 +376,7 @@ class Database:
             value = self.get(oid).get_or_none(prop)
             if value is not None:
                 index.insert(value, oid)
+        self.versions.index += 1
         return index
 
     def create_sorted_index(self, class_name: str, prop: str) -> SortedIndex:
@@ -360,7 +387,16 @@ class Database:
             value = self.get(oid).get_or_none(prop)
             if value is not None:
                 index.insert(value, oid)
+        self.versions.index += 1
         return index
+
+    def drop_index(self, class_name: str, prop: str) -> None:
+        """Drop the user-defined index on ``class_name.prop``.
+
+        Plans compiled against the index become unexecutable; the version
+        bump lets the service layer's plan cache evict them."""
+        self.indexes.drop(class_name, prop)
+        self.versions.index += 1
 
     def create_text_index(self, class_name: str, prop: str) -> InvertedTextIndex:
         """Create an IR index over a STRING property and backfill it."""
@@ -373,7 +409,16 @@ class Database:
             content = self.get(oid).get_or_none(prop)
             if content is not None:
                 engine.index_text(oid, str(content))
+        self.versions.index += 1
         return engine
+
+    def drop_text_index(self, class_name: str, prop: str) -> None:
+        """Drop the IR text index on ``class_name.prop``."""
+        key = (class_name, prop)
+        if key not in self._text_indexes:
+            raise SchemaError(f"no text index on {class_name}.{prop} to drop")
+        del self._text_indexes[key]
+        self.versions.index += 1
 
     def text_index(self, class_name: str, prop: str) -> Optional[InvertedTextIndex]:
         return self._text_indexes.get((class_name, prop))
@@ -403,6 +448,11 @@ class Database:
         snapshot["ir_calls"] = ir_calls
         snapshot["total_cost_units"] = snapshot["method_cost_units"] + ir_cost
         return snapshot
+
+    def bump_schema_version(self) -> None:
+        """Signal an in-place schema mutation (class/property/method change)
+        so that the service layer re-prepares every cached plan."""
+        self.versions.schema += 1
 
     @property
     def context(self) -> InvocationContext:

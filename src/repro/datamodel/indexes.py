@@ -182,6 +182,14 @@ class IndexRegistry:
         self._indexes[key] = index
         return index
 
+    def drop(self, class_name: str, property_name: str) -> HashIndex | SortedIndex:
+        """Remove and return the index on ``class_name.property_name``."""
+        key = (class_name, property_name)
+        index = self._indexes.pop(key, None)
+        if index is None:
+            raise IndexError_(f"no index on {key[0]}.{key[1]} to drop")
+        return index
+
     def get(self, class_name: str, property_name: str) -> Optional[HashIndex | SortedIndex]:
         return self._indexes.get((class_name, property_name))
 

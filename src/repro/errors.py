@@ -87,5 +87,15 @@ class ExecutionError(ReproError):
     """Raised when a physical plan fails during execution."""
 
 
+class BindingError(ReproError):
+    """Raised when the supplied bind-parameter values do not match a query's
+    parameters (missing parameter, unknown name, surplus positional)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the query service layer (unknown prepared statement,
+    service shut down, ...)."""
+
+
 class WorkloadError(ReproError):
     """Raised by workload generators on inconsistent parameters."""

@@ -17,6 +17,7 @@ from repro.algebra.expressions import (
     BinaryOp,
     Const,
     Expression,
+    Parameter,
     PropertyAccess,
     Var,
     conjuncts,
@@ -301,12 +302,16 @@ def _is_subclass(ctx: RuleContext, class_name: str, ancestor: str) -> bool:
 _FLIPPED_COMPARISON = {"==": "==", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
-def _property_comparison(conjunct: Expression, ref: str
+def _property_comparison(conjunct: Expression, ref: str,
+                         allow_parameter: bool = False
                          ) -> Optional[tuple[str, str, object]]:
     """Match ``ref.prop OP const`` (either orientation) in a conjunct.
 
     Returns ``(prop, op, value)`` with the comparison oriented so that the
-    property is on the left, or ``None``.
+    property is on the left, or ``None``.  With *allow_parameter* a bind
+    parameter also matches and is returned as the :class:`Parameter`
+    expression itself — only equality scans can defer key resolution to
+    execution time, range bounds must be comparable during rule application.
     """
     if not isinstance(conjunct, BinaryOp):
         return None
@@ -319,10 +324,11 @@ def _property_comparison(conjunct: Expression, ref: str
     for prop_side, const_side, op in orientations:
         if (isinstance(prop_side, PropertyAccess)
                 and isinstance(prop_side.base, Var)
-                and prop_side.base.name == ref
-                and isinstance(const_side, Const)
-                and const_side.value is not None):
-            return prop_side.prop, op, const_side.value
+                and prop_side.base.name == ref):
+            if isinstance(const_side, Const) and const_side.value is not None:
+                return prop_side.prop, op, const_side.value
+            if allow_parameter and isinstance(const_side, Parameter):
+                return prop_side.prop, op, const_side
     return None
 
 
@@ -339,7 +345,7 @@ def _implement_select_index_eq(plan: LogicalOperator,
     get = plan.input
     parts = conjuncts(plan.condition)
     for position, part in enumerate(parts):
-        match = _property_comparison(part, get.ref)
+        match = _property_comparison(part, get.ref, allow_parameter=True)
         if match is None:
             continue
         prop, op, value = match

@@ -34,6 +34,7 @@ from repro.algebra.expressions import (
     Const,
     Expression,
     MethodCall,
+    Parameter,
     PropertyAccess,
     SetConstructor,
     TupleConstructor,
@@ -69,8 +70,10 @@ _COMPARATORS = {
 
 
 def _is_pure(expression: Expression) -> bool:
-    """True when *expression* uses no references and no database state."""
-    return not any(isinstance(node, (Var, *_DATABASE_NODES))
+    """True when *expression* uses no references, no database state and no
+    bind parameters (a parameter's value changes between executions of one
+    compiled plan, so it must never be folded into a constant)."""
+    return not any(isinstance(node, (Var, Parameter, *_DATABASE_NODES))
                    for node in walk(expression))
 
 
@@ -79,10 +82,20 @@ def _truthy(value: Any) -> bool:
 
 
 class ExpressionCompiler:
-    """Compiles expressions into closures bound to one database."""
+    """Compiles expressions into closures bound to one database.
 
-    def __init__(self, database: Database):
+    ``parameter_resolver`` supplies bind-parameter values at evaluation time
+    (``key -> value``); the service layer passes a thread-local binding
+    environment so that one compiled plan can serve many concurrent
+    executions with different bindings.  Without a resolver, evaluating a
+    :class:`~repro.algebra.expressions.Parameter` raises, exactly like the
+    interpreter does on an unbound plan.
+    """
+
+    def __init__(self, database: Database,
+                 parameter_resolver: Callable[[str], Any] | None = None):
         self._database = database
+        self._parameter_resolver = parameter_resolver
 
     # ------------------------------------------------------------------
     # public API
@@ -141,6 +154,8 @@ class ExpressionCompiler:
             return lambda row: value
         if isinstance(expression, Var):
             return self._compile_var(expression)
+        if isinstance(expression, Parameter):
+            return self._compile_parameter(expression)
         if isinstance(expression, ClassExtent):
             extension = self._database.extension
             class_name = expression.class_name
@@ -180,6 +195,18 @@ class ExpressionCompiler:
                 ) from None
 
         return read_var
+
+    def _compile_parameter(self, expression: Parameter) -> CompiledExpr:
+        resolver = self._parameter_resolver
+        key = expression.key
+        if resolver is None:
+            message = f"bind parameter {expression} has no bound value"
+
+            def unbound(row: Mapping[str, Any]) -> Any:
+                raise ExecutionError(message)
+
+            return unbound
+        return lambda row: resolver(key)
 
     def _compile_property(self, expression: PropertyAccess) -> CompiledExpr:
         base = self.compile(expression.base)

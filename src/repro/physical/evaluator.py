@@ -22,6 +22,7 @@ from repro.algebra.expressions import (
     Const,
     Expression,
     MethodCall,
+    Parameter,
     PropertyAccess,
     SetConstructor,
     TupleConstructor,
@@ -42,6 +43,12 @@ def evaluate(expression: Expression, row: Mapping[str, Any],
     """Evaluate *expression* for the input tuple *row*."""
     if isinstance(expression, Const):
         return expression.value
+    if isinstance(expression, Parameter):
+        # The interpretive engines run on fully bound plans; substitute the
+        # binding first (algebra.expressions.bind_parameters) or execute via
+        # the service layer's prepared path.
+        raise ExecutionError(
+            f"bind parameter {expression} has no bound value")
     if isinstance(expression, Var):
         if expression.name not in row:
             raise ExecutionError(

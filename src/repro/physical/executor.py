@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Iterator
 
+from repro.algebra.expressions import Expression
 from repro.datamodel.database import Database
 from repro.errors import ExecutionError
 from repro.physical.compiler import ExpressionCompiler
@@ -76,9 +77,13 @@ def _class_scan(plan: ClassScan, database: Database,
 def _index_eq_scan(plan: IndexEqScan, database: Database,
                    compiler: ExpressionCompiler) -> Iterator[Row]:
     index = _require_index(plan, database)
+    key = plan.key
+    if isinstance(key, Expression):
+        # Expression keys (bind parameters) are resolved once per execution.
+        key = compiler.compile(key)(EMPTY_ROW)
     database.statistics.record_index_lookup()
     ref = plan.ref
-    for oid in sorted(index.lookup(plan.key)):
+    for oid in sorted(index.lookup(key)):
         yield {ref: oid}
 
 

@@ -27,9 +27,15 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any
 
+from repro.algebra.expressions import Expression
 from repro.datamodel.database import Database
 from repro.errors import ExecutionError
-from repro.physical.evaluator import evaluate, evaluate_predicate, make_hashable
+from repro.physical.evaluator import (
+    EMPTY_ROW,
+    evaluate,
+    evaluate_predicate,
+    make_hashable,
+)
 from repro.physical.plans import (
     ClassScan,
     DiffOp,
@@ -61,8 +67,13 @@ def execute_plan_interpreted(plan: PhysicalOperator,
 
     if isinstance(plan, IndexEqScan):
         index = _require_index(plan, database)
+        key = plan.key
+        if isinstance(key, Expression):
+            # Expression keys (bind parameters) are resolved per execution;
+            # an unbound Parameter raises, as everywhere in this engine.
+            key = evaluate(key, EMPTY_ROW, database)
         database.statistics.record_index_lookup()
-        return [{plan.ref: oid} for oid in sorted(index.lookup(plan.key))]
+        return [{plan.ref: oid} for oid in sorted(index.lookup(key))]
 
     if isinstance(plan, IndexRangeScan):
         index = _require_index(plan, database)

@@ -1,0 +1,179 @@
+"""The plan cache: optimized + compiled plans keyed by query shape.
+
+A cached entry bundles everything the service needs to execute a query
+shape: the analyzed query, the chosen logical/physical plans, the
+:class:`~repro.service.prepared.PreparedExecutable`, and the version
+snapshot it was prepared under.  Lookups validate the snapshot against the
+database's :class:`~repro.datamodel.database.VersionClock` and the
+service's knowledge version:
+
+* ``schema`` / ``index`` / knowledge mismatches invalidate strictly — a
+  dropped index makes an index-scan plan unexecutable, new knowledge or
+  schema changes can change both the plan space and its validity;
+* ``data`` drift invalidates lazily: prepared plans read all state at
+  execution time and therefore stay *correct* under data changes, but the
+  cost-based plan choice goes stale, so an entry is evicted once the number
+  of mutations since preparation exceeds ``reoptimize_fraction`` of the
+  object count it was planned against (bulk loads re-optimize, single-row
+  churn does not).
+
+The cache is a bounded LRU and thread-safe; eviction and invalidation
+counts are exposed for the service metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.algebra.operators import LogicalOperator
+from repro.datamodel.database import Database
+from repro.optimizer.search import OptimizationResult
+from repro.physical.plans import PhysicalOperator
+from repro.service.prepared import PreparedExecutable
+from repro.vql.analyzer import AnalyzedQuery
+
+__all__ = ["CachedPlan", "CacheStatistics", "PlanCache"]
+
+
+@dataclass
+class CacheStatistics:
+    """Counters describing the cache's behaviour since creation."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class CachedPlan:
+    """One prepared query shape plus the versions it was planned under."""
+
+    fingerprint: str
+    analyzed: AnalyzedQuery
+    output_ref: str
+    logical_plan: LogicalOperator
+    physical_plan: PhysicalOperator
+    executable: PreparedExecutable
+    optimize: bool
+    optimization: Optional[OptimizationResult]
+    schema_version: int
+    index_version: int
+    data_version: int
+    knowledge_version: int
+    object_count: int
+    prepare_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    executions: int = 0
+
+
+class PlanCache:
+    """Bounded, version-validated LRU cache of :class:`CachedPlan` entries."""
+
+    def __init__(self, capacity: int = 256,
+                 reoptimize_fraction: float = 0.25):
+        if capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.reoptimize_fraction = reoptimize_fraction
+        self._entries: "OrderedDict[Hashable, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.statistics = CacheStatistics()
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable, database: Database,
+               knowledge_version: int, record: bool = True) -> Optional[CachedPlan]:
+        """Return the valid cached plan for *key*, or None.
+
+        Stale entries (version mismatch, excessive data drift) are dropped
+        on sight and counted as invalidations + misses.  ``record=False``
+        skips the hit/miss counters (used for the double-checked lookup
+        after waiting on another thread's build of the same shape).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if record:
+                    self.statistics.misses += 1
+                return None
+            if not self._is_valid(entry, database, knowledge_version):
+                del self._entries[key]
+                self.statistics.invalidations += 1
+                if record:
+                    self.statistics.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if record:
+                self.statistics.hits += 1
+            entry.executions += 1
+            return entry
+
+    def store(self, key: Hashable, entry: CachedPlan) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.statistics.inserts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (e.g. after knowledge registration)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.statistics.invalidations += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def _is_valid(self, entry: CachedPlan, database: Database,
+                  knowledge_version: int) -> bool:
+        versions = database.versions
+        if entry.schema_version != versions.schema:
+            return False
+        if entry.index_version != versions.index:
+            return False
+        if entry.knowledge_version != knowledge_version:
+            return False
+        drift = versions.data - entry.data_version
+        if drift > self.reoptimize_fraction * max(entry.object_count, 1):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def entries(self) -> list[CachedPlan]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def __str__(self) -> str:
+        stats = self.statistics
+        return (f"PlanCache({len(self)}/{self.capacity} entries, "
+                f"{stats.hits} hits, {stats.misses} misses, "
+                f"{stats.invalidations} invalidations)")

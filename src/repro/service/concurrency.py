@@ -1,0 +1,96 @@
+"""Reader/writer coordination for the query service.
+
+Query executions are readers: many run concurrently against the shared
+database.  Invalidation-triggering operations routed through the service
+(index DDL, knowledge registration) are writers: they wait for in-flight
+executions to drain and block new ones while they mutate, so a running plan
+never observes an index disappearing underneath it.  Writers are preferred —
+a steady stream of queries cannot starve DDL.
+
+Mutations performed *directly* on the :class:`~repro.datamodel.database.
+Database` bypass this lock; they are still picked up through the version
+counters at the next cache lookup, but the caller is responsible for not
+mutating concurrently with executions (see DESIGN.md, thread-safety
+assumptions).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    The read side is reentrant: a thread already holding a read lock may
+    acquire it again even while a writer is queued — otherwise a query
+    whose method implementation re-enters the service on the same thread
+    (the nested-execution case :class:`~repro.service.prepared.BindingEnv`
+    supports) would deadlock against a waiting writer.  The write side is
+    not reentrant, and upgrading (write while holding read) is not
+    supported.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # readers
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        depth = getattr(self._local, "read_depth", 0)
+        with self._condition:
+            if depth == 0:
+                while self._writer_active or self._writers_waiting:
+                    self._condition.wait()
+            self._readers += 1
+        self._local.read_depth = depth + 1
+
+    def release_read(self) -> None:
+        self._local.read_depth = getattr(self._local, "read_depth", 1) - 1
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # writers
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,40 @@
+"""Normalized structural fingerprints of analyzed queries.
+
+Two query texts that differ only in whitespace, comments, keyword case of
+hyphenated operators, or placeholder spelling (``?`` vs ``?1``) analyze to
+structurally identical :class:`~repro.vql.ast.Query` values, because the
+analyzer resolves class references and canonicalizes parameters.  The plan
+cache therefore keys on the analyzed query itself — its expression
+subtrees carry cached structural hashes (PR 1), so hashing the key is a few
+integer mixes, not a tree walk.
+
+:func:`query_fingerprint` additionally renders a short, deterministic hex
+digest of the canonical query text for logging and metrics (Python's
+``hash()`` is salted per process and unsuitable for reporting).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.vql.analyzer import AnalyzedQuery
+from repro.vql.ast import Query
+
+__all__ = ["cache_key", "query_fingerprint"]
+
+
+def cache_key(analyzed: AnalyzedQuery, optimize: bool) -> tuple[Query, bool]:
+    """The plan-cache key: the resolved query plus the optimize flag.
+
+    Keying on the :class:`Query` value (structural equality) makes textually
+    different but shape-identical queries share one cached plan.
+    """
+    return (analyzed.query, optimize)
+
+
+def query_fingerprint(analyzed: AnalyzedQuery, optimize: bool = True) -> str:
+    """A short deterministic digest of the normalized query shape."""
+    canonical = str(analyzed.query)
+    if not optimize:
+        canonical += "\n-- naive"
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

@@ -1,0 +1,426 @@
+"""The multi-client query service.
+
+:class:`QueryService` is the production front end over one database: it
+owns the schema-specific optimizer, a statement cache (query text →
+analyzed shape), the plan cache (query shape → optimized + compiled plan)
+and a reader/writer lock that lets many clients execute concurrently while
+service-mediated DDL and knowledge registration drain in-flight queries
+before invalidating.
+
+The request lifecycle::
+
+    execute(text, params)
+      ├─ statement cache: text ────────→ PreparedQuery (parse+analyze once)
+      ├─ resolve bindings (validates arity/names up front)
+      ├─ plan cache: analyzed shape ──→ CachedPlan (translate+optimize+
+      │                                  compile once per shape, versioned)
+      └─ CachedPlan.executable.run(bindings)   (read-locked)
+
+Every response carries :class:`QueryMetrics` (cache hit/miss, optimize vs
+execute time); the service aggregates them in :class:`ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.datamodel.database import Database
+from repro.errors import ServiceError
+from repro.algebra.translate import translate_query
+from repro.optimizer.generator import OptimizerGenerator
+from repro.optimizer.knowledge import SchemaKnowledge
+from repro.optimizer.search import OptimizationResult, OptimizerOptions
+from repro.physical.executor import Row
+from repro.physical.naive import naive_implementation
+from repro.service.cache import CachedPlan, PlanCache
+from repro.service.concurrency import ReadWriteLock
+from repro.service.fingerprint import cache_key, query_fingerprint
+from repro.service.prepared import prepare_plan
+from repro.session import QueryResult
+from repro.vql.analyzer import AnalyzedQuery, analyze_query
+from repro.vql.bindings import ParameterValues, resolve_bindings
+from repro.vql.parser import parse_query
+
+__all__ = ["PreparedQuery", "QueryMetrics", "QueryService",
+           "ServiceMetrics", "ServiceResult"]
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A client-side handle to a prepared statement.
+
+    Holding the handle skips parse + analyze on execution; the plan itself
+    lives in the service's plan cache and is revalidated (and transparently
+    re-prepared) on every execution.
+    """
+
+    text: str
+    analyzed: AnalyzedQuery
+    optimize: bool
+    fingerprint: str
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        return self.analyzed.parameters
+
+
+@dataclass
+class QueryMetrics:
+    """Per-execution measurements."""
+
+    fingerprint: str
+    cache_hit: bool
+    rows: int = 0
+    analyze_seconds: float = 0.0
+    prepare_seconds: float = 0.0   # translate + optimize + compile (miss only)
+    optimize_seconds: float = 0.0  # portion of prepare spent in the optimizer
+    execute_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.analyze_seconds + self.prepare_seconds + self.execute_seconds
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregated service counters (thread-safe)."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    statements_prepared: int = 0
+    total_execute_seconds: float = 0.0
+    total_prepare_seconds: float = 0.0
+    total_optimize_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, metrics: QueryMetrics) -> None:
+        with self._lock:
+            self.queries += 1
+            if metrics.cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.total_execute_seconds += metrics.execute_seconds
+            self.total_prepare_seconds += metrics.prepare_seconds
+            self.total_optimize_seconds += metrics.optimize_seconds
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "statements_prepared": self.statements_prepared,
+                "hit_rate": (self.cache_hits / self.queries
+                             if self.queries else 0.0),
+                "total_execute_seconds": self.total_execute_seconds,
+                "total_prepare_seconds": self.total_prepare_seconds,
+                "total_optimize_seconds": self.total_optimize_seconds,
+            }
+
+
+@dataclass
+class ServiceResult:
+    """The outcome of one service execution.
+
+    ``work`` holds the logical work-counter delta of this execution; under
+    concurrent execution the database counters are shared, so the delta
+    attributes overlapping work to whichever query read it — treat it as
+    exact only for serial workloads.
+    """
+
+    rows: list[Row]
+    output_ref: str
+    metrics: QueryMetrics
+    plan: CachedPlan
+    work: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def values(self) -> list[Any]:
+        return [row.get(self.output_ref) for row in self.rows]
+
+    def value_set(self) -> set[Any]:
+        from repro.physical.evaluator import make_hashable
+        return {make_hashable(value) for value in self.values}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_query_result(self) -> QueryResult:
+        """Adapt to the session-level :class:`QueryResult` shape."""
+        return QueryResult(
+            rows=self.rows,
+            output_ref=self.output_ref,
+            physical_plan=self.plan.physical_plan,
+            logical_plan=self.plan.logical_plan,
+            optimization=self.plan.optimization,
+            work=dict(self.work))
+
+
+QueryInput = Union[str, PreparedQuery]
+
+
+class QueryService:
+    """A concurrent, plan-caching query front end over one database."""
+
+    def __init__(self, database: Database,
+                 knowledge: Optional[SchemaKnowledge] = None,
+                 options: Optional[OptimizerOptions] = None,
+                 exclude_tags: Sequence[str] = (),
+                 cache_capacity: int = 256,
+                 reoptimize_fraction: float = 0.25):
+        self.database = database
+        self.schema = database.schema
+        self.knowledge = knowledge or SchemaKnowledge(self.schema)
+        self._options = options
+        self._exclude_tags = tuple(exclude_tags)
+        self._generator = OptimizerGenerator(self.schema, self.knowledge,
+                                             options=options)
+        self._optimizer = self._generator.generate(
+            database=database, exclude_tags=self._exclude_tags, options=options)
+        self._knowledge_version = 0
+        self._knowledge_size = len(self.knowledge)
+        self.cache = PlanCache(capacity=cache_capacity,
+                               reoptimize_fraction=reoptimize_fraction)
+        # text-level LRU: query text -> analyzed statement (parse + analyze
+        # once); bounded so arbitrary ad-hoc texts cannot grow it forever
+        self._statements: "OrderedDict[tuple[str, bool], PreparedQuery]" = (
+            OrderedDict())
+        self._statements_capacity = 4 * cache_capacity
+        self._statements_lock = threading.Lock()
+        # single-flight guards: concurrent cold misses on one shape must not
+        # duplicate the (expensive) optimize + compile work
+        self._build_locks: dict[Any, threading.Lock] = {}
+        self._build_locks_guard = threading.Lock()
+        self._gate = ReadWriteLock()
+        self.metrics = ServiceMetrics()
+
+    # ------------------------------------------------------------------
+    # statement preparation
+    # ------------------------------------------------------------------
+    def prepare(self, text: str, optimize: bool = True) -> PreparedQuery:
+        """Parse + analyze *text* once and warm the plan cache for it."""
+        statement = self._statement(text, optimize)
+        with self._gate.read_locked():
+            self._entry_for(statement)
+        return statement
+
+    def _statement(self, text: str, optimize: bool) -> PreparedQuery:
+        key = (text, optimize)
+        with self._statements_lock:
+            cached = self._statements.get(key)
+            if cached is not None:
+                self._statements.move_to_end(key)
+                return cached
+        analyzed = analyze_query(parse_query(text), self.schema)
+        statement = PreparedQuery(
+            text=text, analyzed=analyzed, optimize=optimize,
+            fingerprint=query_fingerprint(analyzed, optimize))
+        with self._statements_lock:
+            statement = self._statements.setdefault(key, statement)
+            self._statements.move_to_end(key)
+            while len(self._statements) > self._statements_capacity:
+                self._statements.popitem(last=False)
+            self.metrics.statements_prepared = len(self._statements)
+        return statement
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: QueryInput,
+                parameters: ParameterValues = None,
+                optimize: bool = True) -> ServiceResult:
+        """Execute *query* (text or prepared handle) with *parameters*."""
+        started = time.perf_counter()
+        if isinstance(query, PreparedQuery):
+            statement = query
+        else:
+            statement = self._statement(query, optimize)
+        analyze_seconds = time.perf_counter() - started
+
+        bindings = resolve_bindings(statement.analyzed.parameters, parameters)
+
+        with self._gate.read_locked():
+            entry, cache_hit = self._entry_for(statement)
+            before = self.database.work_snapshot()
+            run_started = time.perf_counter()
+            rows = entry.executable.run(bindings)
+            execute_seconds = time.perf_counter() - run_started
+            after = self.database.work_snapshot()
+        work = {key: after[key] - before.get(key, 0.0) for key in after}
+
+        metrics = QueryMetrics(
+            fingerprint=entry.fingerprint,
+            cache_hit=cache_hit,
+            rows=len(rows),
+            analyze_seconds=analyze_seconds,
+            prepare_seconds=0.0 if cache_hit else entry.prepare_seconds,
+            optimize_seconds=0.0 if cache_hit else entry.optimize_seconds,
+            execute_seconds=execute_seconds)
+        self.metrics.record(metrics)
+        return ServiceResult(rows=rows, output_ref=entry.output_ref,
+                             metrics=metrics, plan=entry, work=work)
+
+    def run_concurrent(self, requests: Iterable[tuple[QueryInput,
+                                                      ParameterValues]],
+                       workers: int = 4) -> list[ServiceResult]:
+        """Execute many ``(query, parameters)`` requests on a worker pool.
+
+        Results are returned in request order; any request's exception is
+        re-raised after the pool drains.
+        """
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="query-service") as pool:
+            futures = [pool.submit(self.execute, query, parameters)
+                       for query, parameters in requests]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # plan-cache plumbing
+    # ------------------------------------------------------------------
+    def _entry_for(self, statement: PreparedQuery) -> tuple[CachedPlan, bool]:
+        key = cache_key(statement.analyzed, statement.optimize)
+        entry = self.cache.lookup(key, self.database, self._knowledge_version)
+        if entry is not None:
+            return entry, True
+        with self._build_locks_guard:
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        try:
+            with build_lock:
+                # Double-checked: another thread may have built this shape
+                # while we waited on its lock — that still counts as a hit.
+                entry = self.cache.lookup(key, self.database,
+                                          self._knowledge_version, record=False)
+                if entry is not None:
+                    return entry, True
+                entry = self._prepare_entry(statement)
+                self.cache.store(key, entry)
+        finally:
+            # The guard only needs to exist for the duration of one build;
+            # waiters already holding the lock object still serialize on it,
+            # and late arrivals are caught by the double-checked lookup.
+            with self._build_locks_guard:
+                self._build_locks.pop(key, None)
+        return entry, False
+
+    def _prepare_entry(self, statement: PreparedQuery) -> CachedPlan:
+        versions = self.database.versions
+        schema_version = versions.schema
+        index_version = versions.index
+        data_version = versions.data
+        object_count = self.database.object_count()
+
+        started = time.perf_counter()
+        translation = translate_query(statement.analyzed)
+        optimization: Optional[OptimizationResult] = None
+        optimize_seconds = 0.0
+        if statement.optimize:
+            optimize_started = time.perf_counter()
+            optimization = self._optimizer.optimize(translation.plan)
+            optimize_seconds = time.perf_counter() - optimize_started
+            physical = optimization.best_plan
+        else:
+            physical = naive_implementation(translation.plan)
+        executable = prepare_plan(physical, self.database)
+        prepare_seconds = time.perf_counter() - started
+
+        return CachedPlan(
+            fingerprint=statement.fingerprint,
+            analyzed=statement.analyzed,
+            output_ref=translation.output_ref,
+            logical_plan=translation.plan,
+            physical_plan=physical,
+            executable=executable,
+            optimize=statement.optimize,
+            optimization=optimization,
+            schema_version=schema_version,
+            index_version=index_version,
+            data_version=data_version,
+            knowledge_version=self._knowledge_version,
+            object_count=object_count,
+            prepare_seconds=prepare_seconds,
+            optimize_seconds=optimize_seconds)
+
+    # ------------------------------------------------------------------
+    # invalidation-triggering operations (writers)
+    # ------------------------------------------------------------------
+    def register_knowledge(self, *items: Any) -> None:
+        """Add semantic knowledge and regenerate the optimizer.
+
+        Drains in-flight executions, bumps the knowledge version (strictly
+        invalidating every cached plan) and rebuilds the rule set.
+        """
+        if not items:
+            raise ServiceError("register_knowledge needs at least one item")
+        with self._gate.write_locked():
+            for item in items:
+                self.knowledge.add(item)
+            self._refresh_optimizer()
+
+    def sync_knowledge(self) -> bool:
+        """Pick up knowledge added directly to the shared knowledge object.
+
+        ``SchemaKnowledge`` only ever grows, so a size change is a reliable
+        signal that its rules are stale in the generated optimizer.  Returns
+        True when a regeneration happened.
+        """
+        if len(self.knowledge) == self._knowledge_size:
+            return False
+        with self._gate.write_locked():
+            if len(self.knowledge) == self._knowledge_size:
+                return False
+            self._refresh_optimizer()
+        return True
+
+    def _refresh_optimizer(self) -> None:
+        """Rebuild the optimizer from current knowledge (caller holds the
+        write lock) and invalidate every cached plan via the version bump."""
+        self._generator = OptimizerGenerator(
+            self.schema, self.knowledge, options=self._options)
+        self._optimizer = self._generator.generate(
+            database=self.database, exclude_tags=self._exclude_tags,
+            options=self._options)
+        self._knowledge_version += 1
+        self._knowledge_size = len(self.knowledge)
+
+    def create_hash_index(self, class_name: str, prop: str):
+        with self._gate.write_locked():
+            return self.database.create_hash_index(class_name, prop)
+
+    def create_sorted_index(self, class_name: str, prop: str):
+        with self._gate.write_locked():
+            return self.database.create_sorted_index(class_name, prop)
+
+    def create_text_index(self, class_name: str, prop: str):
+        with self._gate.write_locked():
+            return self.database.create_text_index(class_name, prop)
+
+    def drop_index(self, class_name: str, prop: str) -> None:
+        with self._gate.write_locked():
+            self.database.drop_index(class_name, prop)
+
+    def drop_text_index(self, class_name: str, prop: str) -> None:
+        with self._gate.write_locked():
+            self.database.drop_text_index(class_name, prop)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def explain(self, text: str, optimize: bool = True) -> str:
+        """Describe the cached plan for *text* (preparing it if needed)."""
+        statement = self._statement(text, optimize)
+        with self._gate.read_locked():
+            entry, _ = self._entry_for(statement)
+        if entry.optimization is not None:
+            return entry.optimization.explain()
+        return f"naive plan:\n{entry.physical_plan.describe()}"
+
+    def __str__(self) -> str:
+        return (f"QueryService({self.database}, {len(self.cache)} cached "
+                f"plans, knowledge v{self._knowledge_version})")

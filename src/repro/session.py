@@ -29,6 +29,7 @@ from repro.physical.naive import naive_implementation
 from repro.physical.plans import PhysicalOperator
 from repro.vql.analyzer import AnalyzedQuery, analyze_query
 from repro.vql.ast import Query
+from repro.vql.bindings import ParameterValues, bind_query, resolve_bindings
 from repro.vql.parser import parse_query
 
 __all__ = ["QueryResult", "Session"]
@@ -100,14 +101,22 @@ class Session:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, query: QueryLike, optimize: bool = True) -> QueryResult:
+    def execute(self, query: QueryLike, optimize: bool = True,
+                parameters: ParameterValues = None) -> QueryResult:
         """Run the full pipeline and return the result rows.
 
         With ``optimize=False`` the canonical logical plan is lowered
         one-to-one to physical operators (the paper's "straightforward
         evaluation"), which is the baseline the benchmarks compare against.
+
+        ``parameters`` binds the query's ``?``/``:name`` placeholders — a
+        sequence for positional, a mapping for named parameters.  This path
+        substitutes the values before optimization (every execution pays the
+        full pipeline); :class:`repro.service.QueryService` is the prepared
+        path that optimizes the parametrized shape once.
         """
-        translation = self.translate(query)
+        analyzed = self._bind(self.analyze(query), parameters)
+        translation = translate_query(analyzed)
         optimization: Optional[OptimizationResult] = None
         if optimize:
             optimization = self.optimizer.optimize(translation.plan)
@@ -128,9 +137,25 @@ class Session:
             optimization=optimization,
             work=work)
 
-    def execute_naive(self, query: QueryLike) -> QueryResult:
+    def execute_naive(self, query: QueryLike,
+                      parameters: ParameterValues = None) -> QueryResult:
         """Shorthand for ``execute(query, optimize=False)``."""
-        return self.execute(query, optimize=False)
+        return self.execute(query, optimize=False, parameters=parameters)
+
+    @staticmethod
+    def _bind(analyzed: AnalyzedQuery,
+              parameters: ParameterValues) -> AnalyzedQuery:
+        """Substitute parameter values into an analyzed query (no-op for
+        parameterless queries called without values)."""
+        if not analyzed.parameters and parameters is None:
+            return analyzed
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        if not bindings:
+            return analyzed
+        return AnalyzedQuery(
+            query=bind_query(analyzed.query, bindings),
+            variable_types=analyzed.variable_types,
+            parameters=())
 
     # ------------------------------------------------------------------
     # inspection

@@ -14,10 +14,13 @@ from repro.vql.analyzer import (
     resolve_class_references,
 )
 from repro.vql.ast import Query, RangeDeclaration
+from repro.vql.bindings import bind_query, resolve_bindings
 from repro.vql.lexer import Token, tokenize
 from repro.vql.parser import Parser, parse_expression, parse_query
 
 __all__ = [
+    "bind_query",
+    "resolve_bindings",
     "AnalyzedQuery",
     "Analyzer",
     "analyze_query",

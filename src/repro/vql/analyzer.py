@@ -27,11 +27,13 @@ from repro.algebra.expressions import (
     Const,
     Expression,
     MethodCall,
+    Parameter,
     PropertyAccess,
     SetConstructor,
     TupleConstructor,
     UnaryOp,
     Var,
+    parameters_used,
 )
 from repro.datamodel.schema import Schema
 from repro.datamodel.types import (
@@ -59,6 +61,9 @@ class AnalyzedQuery:
 
     query: Query
     variable_types: dict[str, VMLType] = field(default_factory=dict)
+    #: bind-parameter keys in first-occurrence order (ACCESS, FROM, WHERE);
+    #: positional parameters carry their decimal position as key
+    parameters: tuple[str, ...] = ()
 
     def variable_class(self, variable: str) -> Optional[str]:
         """The class a range variable ranges over, if it is object-valued."""
@@ -126,6 +131,10 @@ def infer_expression_type(expr: Expression, env: Mapping[str, VMLType],
     """
     if isinstance(expr, Const):
         return infer_type(expr.value)
+    if isinstance(expr, Parameter):
+        # The optimizer treats bind parameters as opaque typed constants; the
+        # static type is unknown until a value is bound.
+        return ANY
     if isinstance(expr, Var):
         if expr.name not in env:
             raise VQLAnalysisError(f"unbound variable {expr.name!r}")
@@ -289,9 +298,17 @@ class Analyzer:
                 raise VQLAnalysisError(
                     f"WHERE clause must be boolean, got {where_type}")
 
+        parameter_keys: list[str] = []
+        for clause in (access, *(decl.source for decl in resolved_ranges),
+                       *([] if where is None else [where])):
+            for key in parameters_used(clause):
+                if key not in parameter_keys:
+                    parameter_keys.append(key)
+
         analyzed = AnalyzedQuery(
             query=Query(access=access, ranges=tuple(resolved_ranges), where=where),
-            variable_types=variable_types)
+            variable_types=variable_types,
+            parameters=tuple(parameter_keys))
         return analyzed
 
     @staticmethod

@@ -1,0 +1,93 @@
+"""Resolution of user-supplied bind-parameter values.
+
+A query carries its parameter keys in first-occurrence order
+(:attr:`repro.vql.analyzer.AnalyzedQuery.parameters`).  Callers supply
+values either positionally (a sequence — value *i* binds parameter ``?i+1``)
+or by name (a mapping — named parameters bind by identifier, positional
+parameters by their decimal key).  :func:`resolve_bindings` turns either form
+into the canonical ``key -> value`` mapping and rejects incomplete or
+surplus bindings up front, so execution never fails halfway through a plan
+on an unbound parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence, Union
+
+from repro.algebra.expressions import bind_parameters
+from repro.errors import BindingError
+from repro.vql.ast import Query, RangeDeclaration
+
+__all__ = ["ParameterValues", "resolve_bindings", "bind_query"]
+
+#: accepted shapes for user-supplied parameter values
+ParameterValues = Union[Sequence[Any], Mapping[str, Any], None]
+
+
+def resolve_bindings(parameter_keys: Sequence[str],
+                     values: ParameterValues) -> dict[str, Any]:
+    """Match *values* against *parameter_keys* and return ``key -> value``.
+
+    Raises :class:`BindingError` when a parameter stays unbound, a named
+    value matches no parameter, or more positional values are supplied than
+    there are positions.
+    """
+    keys = list(parameter_keys)
+    if values is None:
+        if keys:
+            raise BindingError(
+                f"query has {len(keys)} bind parameter(s) "
+                f"({', '.join(_display(k) for k in keys)}) but no values "
+                "were supplied")
+        return {}
+
+    if isinstance(values, Mapping):
+        mapping = dict(values)
+        unknown = [name for name in mapping if name not in keys]
+        if unknown:
+            raise BindingError(
+                f"value(s) supplied for unknown parameter(s) "
+                f"{', '.join(sorted(unknown))}")
+        missing = [k for k in keys if k not in mapping]
+        if missing:
+            raise BindingError(
+                f"missing value(s) for parameter(s) "
+                f"{', '.join(_display(k) for k in missing)}")
+        return mapping
+
+    if isinstance(values, (str, bytes)):
+        raise BindingError(
+            "positional parameter values must be a sequence of values, "
+            "not a single string")
+
+    supplied = list(values)
+    positions = sorted(int(k) for k in keys if k.isdigit())
+    named = [k for k in keys if not k.isdigit()]
+    if named:
+        raise BindingError(
+            f"named parameter(s) {', '.join(_display(k) for k in named)} "
+            "cannot be bound positionally — supply a mapping")
+    if positions and positions[-1] > len(supplied):
+        missing = [f"?{p}" for p in positions if p > len(supplied)]
+        raise BindingError(
+            f"missing value(s) for parameter(s) {', '.join(missing)}")
+    if len(supplied) > (positions[-1] if positions else 0):
+        raise BindingError(
+            f"{len(supplied)} positional value(s) supplied but the query "
+            f"has only {len(positions)} positional parameter(s)")
+    return {str(position): supplied[position - 1] for position in positions}
+
+
+def bind_query(query: Query, bindings: Mapping[str, Any]) -> Query:
+    """Substitute *bindings* into every clause of *query* (parameters become
+    :class:`~repro.algebra.expressions.Const` literals)."""
+    access = bind_parameters(query.access, bindings)
+    ranges = tuple(
+        RangeDeclaration(decl.variable, bind_parameters(decl.source, bindings))
+        for decl in query.ranges)
+    where = None if query.where is None else bind_parameters(query.where, bindings)
+    return Query(access=access, ranges=ranges, where=where)
+
+
+def _display(key: str) -> str:
+    return f"?{key}" if key.isdigit() else f":{key}"

@@ -3,8 +3,10 @@
 The lexer recognises the subset of VQL exercised by the paper: keywords
 (ACCESS, FROM, WHERE, IN, IS-IN, IS-SUBSET, AND, OR, NOT, TRUE, FALSE,
 INTERSECTION, UNION, DIFFERENCE), identifiers, string and numeric literals,
-the method-call arrow (``->`` or the typographic ``→``), path dots, brackets
-and the comparison/arithmetic operators.
+the method-call arrow (``->`` or the typographic ``→``), path dots, brackets,
+the comparison/arithmetic operators, and bind-parameter markers
+(``?`` / ``?3`` positional, ``:name`` named — the ``:`` doubles as the tuple
+constructor separator, the parser disambiguates by context).
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ KEYWORDS = {
 
 #: multi-character operators, longest first so prefixes do not shadow them
 _MULTI_CHAR = ["==", "!=", "<=", ">=", "->"]
-_SINGLE_CHAR = list("()[]{}.,:<>+-*/")
+_SINGLE_CHAR = list("()[]{}.,:<>+-*/?")
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ from repro.algebra.expressions import (
     Const,
     Expression,
     MethodCall,
+    Parameter,
     PropertyAccess,
     SetConstructor,
     TupleConstructor,
@@ -57,6 +58,9 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.index = 0
+        # Highest positional bind-parameter number seen so far; a plain ``?``
+        # takes the next free position (SQLite's ?NNN numbering discipline).
+        self._max_parameter = 0
 
     # ------------------------------------------------------------------
     # token helpers
@@ -245,6 +249,10 @@ class Parser:
         if token.kind == "IDENT":
             self.advance()
             return Var(token.text)
+        if token.is_op("?"):
+            return self._parse_positional_parameter()
+        if token.is_op(":"):
+            return self._parse_named_parameter()
         if token.is_op("("):
             self.advance()
             inner = self.parse_expression()
@@ -255,6 +263,30 @@ class Parser:
         if token.is_op("{"):
             return self._parse_set_constructor()
         raise self._error("expected expression")
+
+    def _parse_positional_parameter(self) -> Expression:
+        marker = self.advance()  # the '?'
+        follower = self.current
+        # ``?3`` — the number must be glued to the marker, so that ``x == ?``
+        # followed by unrelated input still reports a sensible error.
+        if (follower.kind == "NUMBER" and follower.position == marker.position + 1
+                and "." not in follower.text):
+            self.advance()
+            position = int(follower.text)
+            if position <= 0:
+                raise self._error("parameter positions start at 1")
+            self._max_parameter = max(self._max_parameter, position)
+            return Parameter(str(position))
+        self._max_parameter += 1
+        return Parameter(str(self._max_parameter))
+
+    def _parse_named_parameter(self) -> Expression:
+        marker = self.advance()  # the ':'
+        follower = self.current
+        if follower.kind != "IDENT" or follower.position != marker.position + 1:
+            raise self._error("expected a parameter name after ':'")
+        self.advance()
+        return Parameter(follower.text)
 
     def _parse_tuple_constructor(self) -> Expression:
         self.expect_op("[")

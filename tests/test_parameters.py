@@ -1,0 +1,222 @@
+"""Bind parameters: lexing, parsing, analysis, binding and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    Const,
+    Parameter,
+    Var,
+    bind_parameters,
+    parameters_used,
+)
+from repro.errors import BindingError, ExecutionError, VQLSyntaxError
+from repro.physical.plans import IndexEqScan, walk_physical
+from repro.session import Session
+from repro.vql.analyzer import analyze_query
+from repro.vql.bindings import bind_query, resolve_bindings
+from repro.vql.parser import parse_expression, parse_query
+from repro.workloads import document_knowledge, generate_document_database
+from repro.workloads.documents import QUERY_TERM, TARGET_TITLE
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def test_positional_parameters_auto_number_in_parse_order():
+    expr = parse_expression("(x == ?) AND (y == ?)")
+    assert parameters_used(expr) == ["1", "2"]
+
+
+def test_explicit_positional_numbers_and_reuse():
+    expr = parse_expression("(x == ?2) AND (y == ?1) AND (z == ?2)")
+    assert set(parameters_used(expr)) == {"1", "2"}
+
+
+def test_plain_marker_continues_after_explicit_number():
+    # SQLite's ?NNN discipline: a plain ? takes the next free position.
+    expr = parse_expression("(x == ?5) AND (y == ?)")
+    assert set(parameters_used(expr)) == {"5", "6"}
+
+
+def test_named_parameters_parse_and_print_round_trip():
+    expr = parse_expression("title == :title")
+    assert expr == BinaryOp("==", Var("title"), Parameter("title"))
+    assert parse_expression(str(expr)) == expr
+
+
+def test_positional_parameter_prints_with_position():
+    assert str(Parameter("3")) == "?3"
+    assert parse_expression("x == ?3").right == Parameter("3")
+
+
+def test_named_parameter_requires_adjacent_identifier():
+    with pytest.raises(VQLSyntaxError):
+        parse_expression("x == : name")
+
+
+def test_zero_is_not_a_valid_position():
+    with pytest.raises(VQLSyntaxError):
+        parse_expression("x == ?0")
+
+
+def test_parameter_inside_tuple_constructor():
+    expr = parse_expression("[value: :v]")
+    assert parameters_used(expr) == ["v"]
+
+
+# ----------------------------------------------------------------------
+# analysis
+# ----------------------------------------------------------------------
+def test_analyzer_collects_parameters_in_clause_order(doc_schema):
+    query = parse_query(
+        "ACCESS [t: d.title, q: :accessed] FROM d IN Document "
+        "WHERE d.title == :wanted")
+    analyzed = analyze_query(query, doc_schema)
+    assert analyzed.parameters == ("accessed", "wanted")
+
+
+def test_analyzer_accepts_parameters_in_method_arguments(doc_schema):
+    query = parse_query(
+        "ACCESS p FROM p IN Paragraph WHERE p->contains_string(?)")
+    analyzed = analyze_query(query, doc_schema)
+    assert analyzed.parameters == ("1",)
+
+
+# ----------------------------------------------------------------------
+# binding resolution
+# ----------------------------------------------------------------------
+def test_resolve_positional_bindings():
+    assert resolve_bindings(("1", "2"), ["a", "b"]) == {"1": "a", "2": "b"}
+
+
+def test_resolve_named_bindings():
+    assert resolve_bindings(("term",), {"term": "x"}) == {"term": "x"}
+
+
+def test_missing_positional_value_is_rejected():
+    with pytest.raises(BindingError, match=r"\?2"):
+        resolve_bindings(("1", "2"), ["only-one"])
+
+
+def test_surplus_positional_values_are_rejected():
+    with pytest.raises(BindingError, match="positional"):
+        resolve_bindings(("1",), ["a", "b"])
+
+
+def test_unknown_named_value_is_rejected():
+    with pytest.raises(BindingError, match="bogus"):
+        resolve_bindings(("term",), {"term": "x", "bogus": 1})
+
+
+def test_named_parameters_cannot_bind_positionally():
+    with pytest.raises(BindingError, match=":term"):
+        resolve_bindings(("term",), ["x"])
+
+
+def test_no_values_for_parametrized_query_is_rejected():
+    with pytest.raises(BindingError, match="no values"):
+        resolve_bindings(("1",), None)
+
+
+def test_bind_parameters_substitutes_constants():
+    expr = parse_expression("x == :v")
+    bound = bind_parameters(expr, {"v": 42})
+    assert bound == BinaryOp("==", Var("x"), Const(42))
+
+
+def test_bind_query_covers_all_clauses(doc_schema):
+    query = parse_query(
+        "ACCESS [t: :tag] FROM d IN Document WHERE d.title == :t")
+    bound = bind_query(query, {"tag": "x", "t": "y"})
+    assert not parameters_used(bound.access)
+    assert bound.where is not None and not parameters_used(bound.where)
+
+
+# ----------------------------------------------------------------------
+# execution through a session (substitution path)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def param_session() -> Session:
+    database = generate_document_database(n_documents=6)
+    return Session(database, knowledge=document_knowledge(database.schema))
+
+
+PARAM_QUERY = ("ACCESS p FROM p IN Paragraph "
+               "WHERE p->contains_string(?) AND (p->document()).title == ?")
+NAMED_QUERY = ("ACCESS p FROM p IN Paragraph "
+               "WHERE p->contains_string(:term) AND "
+               "(p->document()).title == :title")
+LITERAL_QUERY = (f"ACCESS p FROM p IN Paragraph "
+                 f"WHERE p->contains_string('{QUERY_TERM}') AND "
+                 f"(p->document()).title == '{TARGET_TITLE}'")
+
+
+def test_positional_execution_matches_literal_query(param_session):
+    literal = param_session.execute(LITERAL_QUERY)
+    bound = param_session.execute(PARAM_QUERY,
+                                  parameters=[QUERY_TERM, TARGET_TITLE])
+    assert bound.value_set() == literal.value_set()
+    assert len(bound) > 0
+
+
+def test_named_execution_matches_literal_query(param_session):
+    literal = param_session.execute(LITERAL_QUERY)
+    bound = param_session.execute(
+        NAMED_QUERY, parameters={"term": QUERY_TERM, "title": TARGET_TITLE})
+    assert bound.value_set() == literal.value_set()
+
+
+def test_naive_execution_supports_parameters(param_session):
+    optimized = param_session.execute(PARAM_QUERY,
+                                      parameters=[QUERY_TERM, TARGET_TITLE])
+    naive = param_session.execute_naive(PARAM_QUERY,
+                                        parameters=[QUERY_TERM, TARGET_TITLE])
+    assert naive.value_set() == optimized.value_set()
+
+
+def test_unbound_parameter_fails_at_execution(param_session):
+    with pytest.raises(BindingError):
+        param_session.execute(PARAM_QUERY)
+
+
+def test_rebinding_changes_the_result(param_session):
+    database = param_session.database
+    titles = sorted({database.value(oid, "title")
+                     for oid in database.extension("Document")})
+    results = [param_session.execute(PARAM_QUERY,
+                                     parameters=[QUERY_TERM, title])
+               for title in titles]
+    assert sum(len(result) for result in results) > 0
+    assert len({frozenset(result.value_set()) for result in results}) > 1
+
+
+# ----------------------------------------------------------------------
+# parameterized index access paths
+# ----------------------------------------------------------------------
+def test_optimizer_uses_index_for_parameterized_equality():
+    database = generate_document_database(n_documents=6)
+    database.create_hash_index("Paragraph", "number")
+    from repro.service import QueryService
+    service = QueryService(database,
+                           knowledge=document_knowledge(database.schema))
+    result = service.execute(
+        "ACCESS p FROM p IN Paragraph WHERE p.number == ?", [2])
+    scans = [node for node in walk_physical(result.plan.physical_plan)
+             if isinstance(node, IndexEqScan)]
+    assert scans and scans[0].key == Parameter("1")
+
+    session = Session(database,
+                      knowledge=document_knowledge(database.schema))
+    reference = session.execute(
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 2")
+    assert result.value_set() == reference.value_set()
+
+
+def test_evaluator_raises_on_unbound_parameter():
+    from repro.physical.evaluator import evaluate
+    database = generate_document_database(n_documents=2)
+    with pytest.raises(ExecutionError, match="no bound value"):
+        evaluate(Parameter("t"), {}, database)

@@ -1,0 +1,393 @@
+"""The prepared-query service layer: plan cache, invalidation, concurrency.
+
+The differential discipline: after every event that may invalidate cached
+plans (index DDL, knowledge registration, bulk data changes) the service's
+answer is compared against a *fresh* session built from scratch on the
+current database state — a stale plan that survived invalidation would
+produce a wrong result or an execution error here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError, IndexError_
+from repro.optimizer.knowledge import ConditionImplication
+from repro.physical.plans import IndexEqScan, walk_physical
+from repro.service import PlanCache, QueryService
+from repro.session import Session
+from repro.workloads import document_knowledge, generate_document_database
+from repro.workloads.documents import QUERY_TERM, TARGET_TITLE
+
+PARAM_QUERY = ("ACCESS p FROM p IN Paragraph "
+               "WHERE p->contains_string(?) AND (p->document()).title == ?")
+NUMBER_QUERY = "ACCESS p FROM p IN Paragraph WHERE p.number == ?"
+
+
+def fresh_database(n_documents: int = 6):
+    return generate_document_database(n_documents=n_documents)
+
+
+def fresh_service(database, **kwargs) -> QueryService:
+    return QueryService(database,
+                        knowledge=document_knowledge(database.schema),
+                        **kwargs)
+
+
+def fresh_session(database) -> Session:
+    return Session(database, knowledge=document_knowledge(database.schema))
+
+
+def assert_matches_fresh_session(service, query, parameters, literal_query):
+    """Differential check: service result == from-scratch session result."""
+    result = service.execute(query, parameters)
+    reference = fresh_session(service.database).execute(literal_query)
+    assert result.value_set() == reference.value_set()
+    return result
+
+
+# ----------------------------------------------------------------------
+# basic prepare / execute
+# ----------------------------------------------------------------------
+def test_second_execution_hits_the_plan_cache():
+    service = fresh_service(fresh_database())
+    first = service.execute(PARAM_QUERY, [QUERY_TERM, TARGET_TITLE])
+    second = service.execute(PARAM_QUERY, [QUERY_TERM, TARGET_TITLE])
+    assert not first.metrics.cache_hit
+    assert second.metrics.cache_hit
+    assert second.metrics.prepare_seconds == 0.0
+    assert first.rows == second.rows
+
+
+def test_one_cached_plan_serves_every_binding():
+    database = fresh_database()
+    service = fresh_service(database)
+    session = fresh_session(database)
+    titles = sorted({database.value(oid, "title")
+                     for oid in database.extension("Document")})
+    service.execute(PARAM_QUERY, [QUERY_TERM, titles[0]])
+    for title in titles:
+        result = service.execute(PARAM_QUERY, [QUERY_TERM, title])
+        reference = session.execute(PARAM_QUERY,
+                                    parameters=[QUERY_TERM, title])
+        assert result.value_set() == reference.value_set()
+    assert len(service.cache) == 1
+    assert service.metrics.cache_hits == len(titles)
+
+
+def test_shape_normalization_shares_cache_entries():
+    service = fresh_service(fresh_database())
+    spelled_one = "ACCESS p FROM p IN Paragraph WHERE p.number == ?"
+    spelled_two = ("ACCESS   p\nFROM p IN Paragraph\n"
+                   "WHERE p.number == ?1  -- same shape")
+    first = service.execute(spelled_one, [2])
+    second = service.execute(spelled_two, [2])
+    assert second.metrics.cache_hit
+    assert first.metrics.fingerprint == second.metrics.fingerprint
+    assert len(service.cache) == 1
+
+
+def test_prepared_handle_skips_parse_and_analyze():
+    service = fresh_service(fresh_database())
+    statement = service.prepare(PARAM_QUERY)
+    assert statement.parameters == ("1", "2")
+    result = service.execute(statement, [QUERY_TERM, TARGET_TITLE])
+    assert result.metrics.cache_hit  # prepare() warmed the plan
+    assert result.output_ref == "p"
+
+
+def test_naive_and_optimized_plans_cache_separately():
+    service = fresh_service(fresh_database())
+    optimized = service.execute(PARAM_QUERY, [QUERY_TERM, TARGET_TITLE])
+    naive = service.execute(PARAM_QUERY, [QUERY_TERM, TARGET_TITLE],
+                            optimize=False)
+    assert len(service.cache) == 2
+    assert naive.value_set() == optimized.value_set()
+    assert naive.plan.optimization is None
+    assert optimized.plan.optimization is not None
+
+
+def test_binding_errors_surface_before_execution():
+    service = fresh_service(fresh_database())
+    with pytest.raises(BindingError):
+        service.execute(PARAM_QUERY, [QUERY_TERM])
+
+
+# ----------------------------------------------------------------------
+# invalidation: index DDL
+# ----------------------------------------------------------------------
+def test_creating_an_index_evicts_and_improves_the_plan():
+    database = fresh_database()
+    service = fresh_service(database)
+    before = service.execute(NUMBER_QUERY, [2])
+    assert not any(isinstance(node, IndexEqScan)
+                   for node in walk_physical(before.plan.physical_plan))
+
+    service.create_hash_index("Paragraph", "number")
+    after = assert_matches_fresh_session(
+        service, NUMBER_QUERY, [2],
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 2")
+    assert not after.metrics.cache_hit
+    assert any(isinstance(node, IndexEqScan)
+               for node in walk_physical(after.plan.physical_plan))
+    assert before.value_set() == after.value_set()
+
+
+def test_dropping_an_index_evicts_the_index_plan():
+    database = fresh_database()
+    service = fresh_service(database)
+    service.create_hash_index("Paragraph", "number")
+    indexed = service.execute(NUMBER_QUERY, [2])
+    assert any(isinstance(node, IndexEqScan)
+               for node in walk_physical(indexed.plan.physical_plan))
+
+    service.drop_index("Paragraph", "number")
+    # The cached index plan would now raise at execution; eviction must
+    # replace it with a plan that still answers correctly.
+    after = assert_matches_fresh_session(
+        service, NUMBER_QUERY, [2],
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 2")
+    assert not after.metrics.cache_hit
+    assert not any(isinstance(node, IndexEqScan)
+                   for node in walk_physical(after.plan.physical_plan))
+    assert after.value_set() == indexed.value_set()
+
+
+def test_dropping_a_missing_index_raises():
+    service = fresh_service(fresh_database())
+    with pytest.raises(IndexError_):
+        service.drop_index("Paragraph", "number")
+
+
+# ----------------------------------------------------------------------
+# invalidation: knowledge registration
+# ----------------------------------------------------------------------
+def test_registering_knowledge_invalidates_every_cached_plan():
+    database = fresh_database()
+    service = fresh_service(database)
+    service.execute(NUMBER_QUERY, [2])
+    service.execute(PARAM_QUERY, [QUERY_TERM, TARGET_TITLE])
+    assert len(service.cache) == 2
+
+    invalidations_before = service.cache.statistics.invalidations
+    service.register_knowledge(ConditionImplication(
+        class_name="Paragraph", variable="p",
+        antecedent="p->wordCount() > 200",
+        consequent="p IS-IN Paragraph->largeParagraphs()",
+        name="test-implication"))
+
+    result = assert_matches_fresh_session(
+        service, NUMBER_QUERY, [2],
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 2")
+    assert not result.metrics.cache_hit
+    assert service.cache.statistics.invalidations > invalidations_before
+
+
+# ----------------------------------------------------------------------
+# invalidation: data drift
+# ----------------------------------------------------------------------
+def test_bulk_data_change_evicts_cached_plans():
+    database = fresh_database()
+    service = fresh_service(database, reoptimize_fraction=0.25)
+    service.execute(NUMBER_QUERY, [2])
+    assert service.execute(NUMBER_QUERY, [2]).metrics.cache_hit
+
+    # Bulk load: create far more than reoptimize_fraction × object_count.
+    for i in range(database.object_count() // 2):
+        database.create("Document", title=f"bulk {i}", sections=set())
+
+    after = assert_matches_fresh_session(
+        service, NUMBER_QUERY, [2],
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 2")
+    assert not after.metrics.cache_hit
+
+
+def test_small_data_change_keeps_cached_plans_and_sees_new_data():
+    database = fresh_database()
+    service = fresh_service(database)
+    title_query = "ACCESS d FROM d IN Document WHERE d.title == ?"
+    before = service.execute(title_query, ["new document"])
+    assert len(before) == 0
+
+    database.create("Document", title="new document", sections=set())
+    after = service.execute(title_query, ["new document"])
+    # One insert is far below the drift threshold: the plan survives, and
+    # because prepared plans read state at run time it sees the new object.
+    assert after.metrics.cache_hit
+    assert len(after) == 1
+
+
+# ----------------------------------------------------------------------
+# cache mechanics
+# ----------------------------------------------------------------------
+def test_plan_cache_is_a_bounded_lru():
+    database = fresh_database()
+    service = fresh_service(database, cache_capacity=2)
+    queries = [f"ACCESS p FROM p IN Paragraph WHERE p.number == {n}"
+               for n in range(3)]
+    for query in queries:
+        service.execute(query)
+    assert len(service.cache) == 2
+    assert service.cache.statistics.evictions == 1
+    # The oldest shape was evicted: running it again is a miss.
+    again = service.execute(queries[0])
+    assert not again.metrics.cache_hit
+
+
+def test_plan_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# concurrency
+# ----------------------------------------------------------------------
+def test_concurrent_execution_matches_serial_results():
+    database = fresh_database()
+    service = fresh_service(database)
+    session = fresh_session(database)
+    titles = sorted({database.value(oid, "title")
+                     for oid in database.extension("Document")})
+    requests = [(PARAM_QUERY, [QUERY_TERM, titles[i % len(titles)]])
+                for i in range(24)]
+    results = service.run_concurrent(requests, workers=6)
+    assert len(results) == len(requests)
+    for (query, parameters), result in zip(requests, results):
+        reference = session.execute(query, parameters=parameters)
+        assert result.value_set() == reference.value_set()
+    assert service.metrics.queries == len(requests)
+    assert service.metrics.cache_hits >= len(requests) - 1
+
+
+def test_concurrent_mixed_shapes_share_the_cache():
+    database = fresh_database()
+    service = fresh_service(database)
+    requests = []
+    for i in range(12):
+        requests.append((NUMBER_QUERY, [i % 5]))
+        requests.append((PARAM_QUERY, [QUERY_TERM, TARGET_TITLE]))
+    results = service.run_concurrent(requests, workers=4)
+    assert len(service.cache) == 2
+    session = fresh_session(database)
+    for (query, parameters), result in zip(requests, results):
+        assert result.value_set() == session.execute(
+            query, parameters=parameters).value_set()
+
+
+# ----------------------------------------------------------------------
+# metrics and the engine-level one-shot path
+# ----------------------------------------------------------------------
+def test_service_metrics_snapshot_accounts_for_hits_and_misses():
+    service = fresh_service(fresh_database())
+    service.execute(NUMBER_QUERY, [1])
+    service.execute(NUMBER_QUERY, [2])
+    service.execute(NUMBER_QUERY, [3])
+    snapshot = service.metrics.snapshot()
+    assert snapshot["queries"] == 3
+    assert snapshot["cache_misses"] == 1
+    assert snapshot["cache_hits"] == 2
+    assert 0.0 < snapshot["hit_rate"] < 1.0
+    assert snapshot["total_optimize_seconds"] > 0.0
+
+
+def test_run_query_reuses_a_cached_service_per_database():
+    from repro.engine import _service_for, run_query
+    database = fresh_database()
+    knowledge = document_knowledge(database.schema)
+
+    first = run_query(database, NUMBER_QUERY, knowledge=knowledge,
+                      parameters=[2])
+    second = run_query(database, NUMBER_QUERY, knowledge=knowledge,
+                       parameters=[3])
+    assert first.output_ref == "p"
+    service = _service_for(database, knowledge)
+    assert service is _service_for(database, knowledge)
+    assert service.metrics.queries == 2
+    assert service.metrics.cache_hits == 1  # same shape, second call hit
+
+    reference = fresh_session(database).execute(
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 3")
+    assert second.value_set() == reference.value_set()
+
+
+def test_run_query_naive_flag_still_works():
+    from repro.engine import run_query
+    database = fresh_database()
+    knowledge = document_knowledge(database.schema)
+    optimized = run_query(database, NUMBER_QUERY, knowledge=knowledge,
+                          parameters=[2])
+    naive = run_query(database, NUMBER_QUERY, knowledge=knowledge,
+                      optimize=False, parameters=[2])
+    assert naive.value_set() == optimized.value_set()
+    assert naive.optimization is None
+
+
+def test_explain_describes_the_cached_plan():
+    service = fresh_service(fresh_database())
+    text = service.explain(NUMBER_QUERY)
+    assert "physical plan" in text or "naive plan" in text
+
+
+def test_run_query_picks_up_knowledge_added_in_place():
+    """Knowledge add()ed directly to the shared object after the service was
+    cached must still reach the optimizer (the pre-service behaviour)."""
+    from repro.engine import _service_for, run_query
+    database = fresh_database()
+    knowledge = document_knowledge(database.schema)
+    run_query(database, NUMBER_QUERY, knowledge=knowledge, parameters=[2])
+    version_before = _service_for(database, knowledge)._knowledge_version
+
+    knowledge.add(ConditionImplication(
+        class_name="Paragraph", variable="p",
+        antecedent="p->wordCount() > 200",
+        consequent="p IS-IN Paragraph->largeParagraphs()",
+        name="in-place-implication"))
+    result = run_query(database, NUMBER_QUERY, knowledge=knowledge,
+                       parameters=[2])
+    service = _service_for(database, knowledge)
+    assert service._knowledge_version == version_before + 1
+    assert result.value_set() == fresh_session(database).execute(
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 2").value_set()
+
+
+def test_service_cache_for_run_query_is_bounded():
+    from repro.engine import _MAX_CACHED_SERVICES, _SERVICES, run_query
+    for _ in range(_MAX_CACHED_SERVICES + 3):
+        run_query(fresh_database(2), "ACCESS d FROM d IN Document")
+    assert len(_SERVICES) <= _MAX_CACHED_SERVICES
+
+
+def test_read_lock_is_reentrant_while_a_writer_waits():
+    """A reader re-entering on the same thread must not deadlock against a
+    queued writer (nested service execution from a method implementation)."""
+    import threading
+    from repro.service import ReadWriteLock
+
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    writer_queued = threading.Event()
+    writer_done = threading.Event()
+
+    def writer():
+        writer_queued.set()
+        with lock.write_locked():
+            writer_done.set()
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    writer_queued.wait(timeout=5)
+    import time
+    time.sleep(0.05)  # let the writer reach acquire_write and queue up
+    # Re-entrant read while the writer waits: must not block.
+    lock.acquire_read()
+    lock.release_read()
+    lock.release_read()
+    thread.join(timeout=5)
+    assert writer_done.is_set()
+
+
+def test_build_locks_do_not_accumulate():
+    service = fresh_service(fresh_database())
+    for n in range(5):
+        service.execute(f"ACCESS p FROM p IN Paragraph WHERE p.number == {n}")
+    assert not service._build_locks
