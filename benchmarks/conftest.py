@@ -3,9 +3,17 @@
 Databases are generated once per size and cached for the whole benchmark
 session; each experiment opens the sessions it needs (full knowledge,
 ablated, or structural-only) on top of the cached databases.
+
+Workload generation is explicitly seeded (``REPRO_BENCH_SEED``, default
+42, settable per run via the shared ``--seed`` CLI flag of
+:func:`repro.bench.standalone_main`), so quick/CI runs are deterministic:
+two runs with the same seed measure identical databases and the smoke
+checks can assert speedup directions without flaking on data variance.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -24,15 +32,25 @@ SCALING_SIZES = (20, 80, 200)
 DEFAULT_SIZE = 80
 
 
-_DATABASE_CACHE: dict[int, Database] = {}
+_DATABASE_CACHE: dict[tuple[int, int], Database] = {}
+
+
+def bench_seed() -> int:
+    """The workload-generation seed for this run (``REPRO_BENCH_SEED``)."""
+    try:
+        return int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    except ValueError:
+        return 42
 
 
 def document_database(n_documents: int) -> Database:
-    """A cached synthetic document database with *n_documents* documents."""
-    if n_documents not in _DATABASE_CACHE:
-        _DATABASE_CACHE[n_documents] = generate_document_database(
-            n_documents=n_documents)
-    return _DATABASE_CACHE[n_documents]
+    """A cached synthetic document database with *n_documents* documents,
+    generated deterministically from the run's bench seed."""
+    key = (n_documents, bench_seed())
+    if key not in _DATABASE_CACHE:
+        _DATABASE_CACHE[key] = generate_document_database(
+            n_documents=n_documents, seed=key[1])
+    return _DATABASE_CACHE[key]
 
 
 def semantic_session(n_documents: int, exclude_tags: tuple[str, ...] = ()) -> Session:

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import random
 import sys
 import time
 from dataclasses import dataclass, field
@@ -153,11 +155,24 @@ def standalone_main(benchmark: str,
                         help="also write the JSON perf record to PATH")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero when the acceptance condition fails")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="workload-generation seed (default: "
+                             "REPRO_BENCH_SEED or 42)")
     args = parser.parse_args(argv)
+
+    if args.seed is not None:
+        # The benchmark conftests read the seed lazily per database, so
+        # setting it before run_cases makes the whole run deterministic.
+        os.environ["REPRO_BENCH_SEED"] = str(args.seed)
+        random.seed(args.seed)
 
     cases = run_cases(args.quick)
     extra = summarize(cases) if summarize is not None else {}
-    record = perf_record(benchmark, args.quick, cases, **extra)
+    try:
+        seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    except ValueError:
+        seed = 42
+    record = perf_record(benchmark, args.quick, cases, seed=seed, **extra)
 
     print(f"{benchmark}:")
     print(format_table(cases))

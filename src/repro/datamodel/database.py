@@ -16,6 +16,11 @@ from repro.datamodel.indexes import HashIndex, IndexRegistry, SortedIndex
 from repro.datamodel.ir import InvertedTextIndex
 from repro.datamodel.objects import DatabaseObject
 from repro.datamodel.oid import OID, OIDAllocator
+from repro.datamodel.partitions import (
+    DEFAULT_PARTITIONS,
+    ExtensionPartitions,
+    PartitionStatistics,
+)
 from repro.datamodel.schema import MethodDef, MethodKind, Schema
 from repro.datamodel.statistics import DatabaseStatistics
 from repro.errors import (
@@ -83,12 +88,14 @@ class InvocationContext:
 class Database:
     """In-memory OODB: objects + extensions + method dispatch + indexes."""
 
-    def __init__(self, schema: Schema, name: str = "database"):
+    def __init__(self, schema: Schema, name: str = "database",
+                 n_partitions: int = DEFAULT_PARTITIONS):
         schema.validate()
         self.schema = schema
         self.name = name
         self._objects: dict[OID, DatabaseObject] = {}
         self._extensions: dict[str, list[OID]] = defaultdict(list)
+        self.partitions = ExtensionPartitions(n_partitions)
         self._allocator = OIDAllocator()
         self.indexes = IndexRegistry()
         self._text_indexes: dict[tuple[str, str], InvertedTextIndex] = {}
@@ -122,6 +129,7 @@ class Database:
         obj = DatabaseObject(oid=oid, values=dict(values))
         self._objects[oid] = obj
         self._extensions[class_name].append(oid)
+        self.partitions.add(class_name, oid)
         self.statistics.record_object_created()
         self.versions.data += 1
         self._index_new_object(class_name, oid, values)
@@ -150,6 +158,34 @@ class Database:
         while current is not None:
             yield current
             current = self.schema.get_class(current).superclass
+
+    def delete(self, oid: OID) -> None:
+        """Delete the object with *oid*.
+
+        The object is removed from its extension, its hash partition and
+        every index and text index covering it.  References other objects
+        hold to the deleted OID are not chased; reading such a dangling
+        reference later raises :class:`ObjectNotFoundError`, exactly like
+        any unknown OID.
+        """
+        obj = self.get(oid)
+        class_name = obj.class_name
+        owners = set(self._class_and_ancestors(class_name))
+        for prop_name, value in list(obj.values.items()):
+            if value is None:
+                continue  # None values are never in hash/sorted indexes
+            for owner in owners:
+                self.indexes.notify_remove(owner, prop_name, value, oid)
+        # Text indexes are keyed by OID alone, so removal must not depend on
+        # the current property value (which may have been set to None).
+        for (owner, _prop), engine in self._text_indexes.items():
+            if owner in owners:
+                engine.remove(oid)
+        del self._objects[oid]
+        self._extensions[class_name].remove(oid)
+        self.partitions.remove(class_name, oid)
+        self.statistics.record_object_deleted()
+        self.versions.data += 1
 
     def get(self, oid: OID) -> DatabaseObject:
         try:
@@ -187,6 +223,7 @@ class Database:
         had = obj.has(prop)
         obj.set(prop, value)
         self.statistics.record_property_write()
+        self.partitions.record_write(obj.class_name, oid)
         self.versions.data += 1
         for owner in self._class_and_ancestors(obj.class_name):
             index = self.indexes.get(owner, prop)
@@ -228,6 +265,37 @@ class Database:
                 return True
             current = class_def.superclass
         return False
+
+    def extension_partitions(self, class_name: str,
+                             deep: bool = True) -> list[list[OID]]:
+        """The extension of *class_name* as hash partitions.
+
+        Partition *i* of the result merges partition *i* of the class with
+        partition *i* of every subclass (subclasses in schema order, exactly
+        like :meth:`extension`), so concatenating the partitions yields the
+        same OID multiset as a deep extension scan.  Charged as one
+        extension scan, like :meth:`extension`.
+        """
+        if not self.schema.has_class(class_name):
+            raise SchemaError(f"unknown class {class_name!r}")
+        self.statistics.record_extension_scan()
+        classes = [class_name]
+        if deep:
+            classes.extend(
+                other for other in self.schema.classes
+                if other != class_name and self._inherits_from(other, class_name))
+        result: list[list[OID]] = [[] for _ in range(self.partitions.n_partitions)]
+        for cls in classes:
+            extension = self.partitions.for_class(cls)
+            for index, oids in enumerate(extension.partitions()):
+                result[index].extend(oids)
+        return result
+
+    def partition_statistics(self, class_name: str) -> list[PartitionStatistics]:
+        """Per-partition maintenance counters for *class_name* (shallow)."""
+        if not self.schema.has_class(class_name):
+            raise SchemaError(f"unknown class {class_name!r}")
+        return self.partitions.for_class(class_name).statistics()
 
     def extension_size(self, class_name: str) -> int:
         """Cardinality of the extension without charging a scan (cost model)."""

@@ -215,5 +215,11 @@ class IndexRegistry:
         if index is not None:
             index.update(old_key, new_key, oid)
 
+    def notify_remove(self, class_name: str, property_name: str,
+                      key: Any, oid: OID) -> None:
+        index = self.get(class_name, property_name)
+        if index is not None:
+            index.remove(key, oid)
+
     def __len__(self) -> int:
         return len(self._indexes)

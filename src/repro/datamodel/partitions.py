@@ -1,0 +1,140 @@
+"""Hash-partitioned class extensions.
+
+The paper's premise is that method-bearing queries are dominated by
+expensive method evaluation, which makes independent partitions of a class
+extension the natural unit of intra-query parallelism: each partition can
+evaluate methods concurrently and the results are merged deterministically.
+
+A :class:`PartitionedExtension` keeps the OIDs of one class spread over a
+fixed number of partitions.  Assignment is by the OID's serial number modulo
+the partition count — a deterministic hash, so partition contents (and
+therefore the ordered merge of a parallel scan) are reproducible across
+processes regardless of ``PYTHONHASHSEED``.  Within a partition OIDs stay in
+creation order.
+
+Partitions are maintained eagerly by the database on every create and
+delete; property writes do not move objects (the partitioning key is the
+OID, not a value) but are counted in the per-partition statistics, which the
+cost model and benchmarks can consult for skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.oid import OID
+
+__all__ = ["DEFAULT_PARTITIONS", "PartitionStatistics", "PartitionedExtension",
+           "ExtensionPartitions"]
+
+#: default number of partitions per class extension
+DEFAULT_PARTITIONS = 8
+
+
+@dataclass
+class PartitionStatistics:
+    """Mutable per-partition counters."""
+
+    size: int = 0
+    inserts: int = 0
+    removes: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"size": self.size, "inserts": self.inserts,
+                "removes": self.removes, "writes": self.writes}
+
+
+class PartitionedExtension:
+    """The OIDs of one class, hash-partitioned by serial number."""
+
+    __slots__ = ("class_name", "n_partitions", "_partitions", "_statistics")
+
+    def __init__(self, class_name: str, n_partitions: int = DEFAULT_PARTITIONS):
+        if n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+        self.class_name = class_name
+        self.n_partitions = n_partitions
+        self._partitions: list[list[OID]] = [[] for _ in range(n_partitions)]
+        self._statistics = [PartitionStatistics() for _ in range(n_partitions)]
+
+    def partition_of(self, oid: OID) -> int:
+        """Deterministic partition assignment (serial modulo count)."""
+        return oid.serial % self.n_partitions
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def add(self, oid: OID) -> int:
+        index = self.partition_of(oid)
+        self._partitions[index].append(oid)
+        stats = self._statistics[index]
+        stats.size += 1
+        stats.inserts += 1
+        return index
+
+    def remove(self, oid: OID) -> int:
+        index = self.partition_of(oid)
+        self._partitions[index].remove(oid)
+        stats = self._statistics[index]
+        stats.size -= 1
+        stats.removes += 1
+        return index
+
+    def record_write(self, oid: OID) -> None:
+        self._statistics[self.partition_of(oid)].writes += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def partition(self, index: int) -> list[OID]:
+        """A copy of one partition's OIDs (creation order)."""
+        return list(self._partitions[index])
+
+    def partitions(self) -> list[list[OID]]:
+        """Copies of all partitions, in partition order."""
+        return [list(partition) for partition in self._partitions]
+
+    def statistics(self) -> list[PartitionStatistics]:
+        return list(self._statistics)
+
+    def sizes(self) -> list[int]:
+        return [len(partition) for partition in self._partitions]
+
+    def total_size(self) -> int:
+        return sum(len(partition) for partition in self._partitions)
+
+    def __len__(self) -> int:
+        return self.total_size()
+
+    def __str__(self) -> str:
+        return (f"PartitionedExtension({self.class_name!r}, "
+                f"{self.n_partitions} partitions, {self.total_size()} OIDs)")
+
+
+class ExtensionPartitions:
+    """All partitioned extensions of one database, keyed by class name."""
+
+    __slots__ = ("n_partitions", "_by_class")
+
+    def __init__(self, n_partitions: int = DEFAULT_PARTITIONS):
+        if n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+        self.n_partitions = n_partitions
+        self._by_class: dict[str, PartitionedExtension] = {}
+
+    def for_class(self, class_name: str) -> PartitionedExtension:
+        extension = self._by_class.get(class_name)
+        if extension is None:
+            extension = PartitionedExtension(class_name, self.n_partitions)
+            self._by_class[class_name] = extension
+        return extension
+
+    def add(self, class_name: str, oid: OID) -> None:
+        self.for_class(class_name).add(oid)
+
+    def remove(self, class_name: str, oid: OID) -> None:
+        self.for_class(class_name).remove(oid)
+
+    def record_write(self, class_name: str, oid: OID) -> None:
+        self.for_class(class_name).record_write(oid)

@@ -21,6 +21,7 @@ class DatabaseStatistics:
     property_reads: int = 0
     property_writes: int = 0
     objects_created: int = 0
+    objects_deleted: int = 0
     method_calls: Counter = field(default_factory=Counter)
     external_method_calls: Counter = field(default_factory=Counter)
     class_method_calls: Counter = field(default_factory=Counter)
@@ -39,6 +40,9 @@ class DatabaseStatistics:
 
     def record_object_created(self) -> None:
         self.objects_created += 1
+
+    def record_object_deleted(self) -> None:
+        self.objects_deleted += 1
 
     def record_method_call(self, class_name: str, method_name: str,
                            external: bool, class_level: bool,
@@ -75,6 +79,7 @@ class DatabaseStatistics:
             "property_reads": self.property_reads,
             "property_writes": self.property_writes,
             "objects_created": self.objects_created,
+            "objects_deleted": self.objects_deleted,
             "method_calls": self.total_method_calls(),
             "external_method_calls": self.total_external_calls(),
             "index_lookups": self.index_lookups,
@@ -86,6 +91,7 @@ class DatabaseStatistics:
         self.property_reads = 0
         self.property_writes = 0
         self.objects_created = 0
+        self.objects_deleted = 0
         self.method_calls.clear()
         self.external_method_calls.clear()
         self.class_method_calls.clear()

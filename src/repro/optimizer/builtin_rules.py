@@ -15,14 +15,17 @@ from typing import Iterable, Optional
 
 from repro.algebra.expressions import (
     BinaryOp,
+    ClassMethodCall,
     Const,
     Expression,
+    MethodCall,
     Parameter,
     PropertyAccess,
     Var,
     conjuncts,
     free_vars,
     make_conjunction,
+    walk,
 )
 from repro.algebra.operators import (
     Diff,
@@ -37,6 +40,7 @@ from repro.algebra.operators import (
     Select,
     Union,
 )
+from repro.errors import ReproError
 from repro.optimizer.rules import (
     CallableImplementationRule,
     CallableTransformationRule,
@@ -55,15 +59,22 @@ from repro.physical.plans import (
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
+    ParallelHashJoin,
+    ParallelIndexEqScan,
+    ParallelIndexRangeScan,
+    ParallelMap,
+    ParallelScan,
     PhysicalOperator,
     ProjectOp,
     SetProbeFilter,
     UnionOp,
 )
 
-__all__ = ["standard_rules", "standard_transformations", "standard_implementations"]
+__all__ = ["standard_rules", "standard_transformations", "standard_implementations",
+           "parallel_implementations"]
 
 _BUILTIN = frozenset({"builtin"})
+_PARALLEL = frozenset({"builtin", "parallel"})
 
 
 # ----------------------------------------------------------------------
@@ -332,12 +343,10 @@ def _property_comparison(conjunct: Expression, ref: str,
     return None
 
 
-def _implement_select_index_eq(plan: LogicalOperator,
-                               _children: tuple[PhysicalOperator, ...],
-                               ctx: RuleContext
-                               ) -> Optional[Iterable[PhysicalOperator]]:
-    """select<a.prop == const AND rest>(get<a, C>) → filter<rest>(index_eq_scan)
-    when an index on ``C.prop`` is registered with the database."""
+def _match_index_eq(plan: LogicalOperator, ctx: RuleContext
+                    ) -> Optional[tuple[Get, str, object, Optional[Expression]]]:
+    """Match ``select<a.prop == const AND rest>(get<a, C>)`` against a
+    registered index, returning ``(get, prop, key, residual)``."""
     if not isinstance(plan, Select) or not isinstance(plan.input, Get):
         return None
     if ctx.database is None:
@@ -353,19 +362,31 @@ def _implement_select_index_eq(plan: LogicalOperator,
             continue
         if ctx.database.indexes.get(get.class_name, prop) is None:
             continue
-        scan: PhysicalOperator = IndexEqScan(get.ref, get.class_name, prop, value)
         residual = make_conjunction(parts[:position] + parts[position + 1:])
-        return [scan if residual is None else Filter(residual, scan)]
+        return get, prop, value, residual
     return None
 
 
-def _implement_select_index_range(plan: LogicalOperator,
-                                  _children: tuple[PhysicalOperator, ...],
-                                  ctx: RuleContext
-                                  ) -> Optional[Iterable[PhysicalOperator]]:
-    """select<a.prop < const AND ...>(get<a, C>) → index_range_scan over a
-    sorted index, merging all range conjuncts on the same property into one
-    interval and keeping the remaining conjuncts as a residual filter."""
+def _implement_select_index_eq(plan: LogicalOperator,
+                               _children: tuple[PhysicalOperator, ...],
+                               ctx: RuleContext
+                               ) -> Optional[Iterable[PhysicalOperator]]:
+    """select<a.prop == const AND rest>(get<a, C>) → filter<rest>(index_eq_scan)
+    when an index on ``C.prop`` is registered with the database."""
+    match = _match_index_eq(plan, ctx)
+    if match is None:
+        return None
+    get, prop, value, residual = match
+    scan: PhysicalOperator = IndexEqScan(get.ref, get.class_name, prop, value)
+    return [scan if residual is None else Filter(residual, scan)]
+
+
+def _match_index_range(plan: LogicalOperator, ctx: RuleContext
+                       ) -> Optional[tuple[Get, str, object, object, bool, bool,
+                                           Optional[Expression]]]:
+    """Match a selection over a sorted-indexed property, merging all range
+    conjuncts on the same property into one interval.  Returns ``(get, prop,
+    low, high, include_low, include_high, residual)``."""
     if not isinstance(plan, Select) or not isinstance(plan.input, Get):
         return None
     if ctx.database is None:
@@ -408,10 +429,23 @@ def _implement_select_index_range(plan: LogicalOperator,
             residual.append(part)
     if low is None and high is None:
         return None
+    return (get, target_prop, low, high, include_low, include_high,
+            make_conjunction(residual))
+
+
+def _implement_select_index_range(plan: LogicalOperator,
+                                  _children: tuple[PhysicalOperator, ...],
+                                  ctx: RuleContext
+                                  ) -> Optional[Iterable[PhysicalOperator]]:
+    """select<a.prop < const AND ...>(get<a, C>) → index_range_scan over a
+    sorted index, merging all range conjuncts on the same property into one
+    interval and keeping the remaining conjuncts as a residual filter."""
+    match = _match_index_range(plan, ctx)
+    if match is None:
+        return None
+    get, prop, low, high, include_low, include_high, rest = match
     scan: PhysicalOperator = IndexRangeScan(
-        get.ref, get.class_name, target_prop, low, high,
-        include_low, include_high)
-    rest = make_conjunction(residual)
+        get.ref, get.class_name, prop, low, high, include_low, include_high)
     return [scan if rest is None else Filter(rest, scan)]
 
 
@@ -496,6 +530,181 @@ def _implement_diff(plan: LogicalOperator, children: tuple[PhysicalOperator, ...
     return None
 
 
+# -- parallel implementation rules --------------------------------------
+# The paper's premise: method-bearing queries are dominated by expensive
+# method evaluation, so independent partitions/morsels can evaluate methods
+# concurrently.  Each rule fires only when the context's ``parallelism`` is
+# at least 2 AND the expression it would parallelize calls an *externally
+# implemented* method: external methods model engine round-trips that block
+# the calling thread, which is what worker threads overlap.  Internally
+# encoded methods are inline CPU (GIL-serialized — no wall-clock win), and
+# attribute comparisons never beat the startup cost.  The cost model's
+# PARALLEL_STARTUP_COST arbitrates the remaining cases.
+
+
+def _method_bearing(expression: Expression, ctx: RuleContext,
+                    source: LogicalOperator) -> bool:
+    """True when *expression* calls at least one external method.
+
+    Instance calls are resolved on the receiver's inferred class (typed in
+    the environment of *source*, the logical input the expression ranges
+    over), so a method name that is external on one class and internal on
+    another is judged by the class actually invoked.  When the receiver
+    cannot be typed, any class carrying an external method of that name
+    counts (conservative toward parallelizing)."""
+    for node in walk(expression):
+        if isinstance(node, ClassMethodCall):
+            if _is_external_class_method(node.class_name, node.method, ctx):
+                return True
+        elif isinstance(node, MethodCall):
+            receiver_class = ctx.expression_class(node.receiver, source)
+            if receiver_class is not None:
+                if _is_external_instance_method(receiver_class, node.method,
+                                                ctx):
+                    return True
+            elif _is_external_method_anywhere(node.method, ctx):
+                return True
+    return False
+
+
+def _is_external_instance_method(class_name: str, method_name: str,
+                                 ctx: RuleContext) -> bool:
+    try:
+        return ctx.schema.resolve_instance_method(
+            class_name, method_name).is_external()
+    except ReproError:
+        return False
+
+
+def _is_external_class_method(class_name: str, method_name: str,
+                              ctx: RuleContext) -> bool:
+    try:
+        return ctx.schema.resolve_class_method(
+            class_name, method_name).is_external()
+    except ReproError:
+        return False
+
+
+def _is_external_method_anywhere(method_name: str, ctx: RuleContext) -> bool:
+    """Fallback when the receiver's class cannot be inferred."""
+    for class_def in ctx.schema.classes.values():
+        method = (class_def.instance_methods.get(method_name)
+                  or class_def.class_methods.get(method_name))
+        if method is not None and method.is_external():
+            return True
+    return False
+
+
+def _implement_select_parallel_scan(plan: LogicalOperator,
+                                    _children: tuple[PhysicalOperator, ...],
+                                    ctx: RuleContext
+                                    ) -> Optional[Iterable[PhysicalOperator]]:
+    """select<method-bearing cond>(get<a, C>) → parallel partitioned scan."""
+    if ctx.parallelism < 2:
+        return None
+    if not isinstance(plan, Select) or not isinstance(plan.input, Get):
+        return None
+    if not _method_bearing(plan.condition, ctx, plan.input):
+        return None
+    get = plan.input
+    return [ParallelScan(get.ref, get.class_name,
+                         condition=plan.condition, degree=ctx.parallelism)]
+
+
+def _implement_select_parallel_index_eq(plan: LogicalOperator,
+                                        _children: tuple[PhysicalOperator, ...],
+                                        ctx: RuleContext
+                                        ) -> Optional[Iterable[PhysicalOperator]]:
+    """Index equality lookup with the method-bearing residual evaluated over
+    morsels of the matching OIDs."""
+    if ctx.parallelism < 2:
+        return None
+    match = _match_index_eq(plan, ctx)
+    if match is None:
+        return None
+    get, prop, value, residual = match
+    if residual is None or not _method_bearing(residual, ctx, get):
+        return None
+    return [ParallelIndexEqScan(get.ref, get.class_name, prop, value,
+                                condition=residual, degree=ctx.parallelism)]
+
+
+def _implement_select_parallel_index_range(plan: LogicalOperator,
+                                           _children: tuple[PhysicalOperator, ...],
+                                           ctx: RuleContext
+                                           ) -> Optional[Iterable[PhysicalOperator]]:
+    """Sorted-index range lookup with parallel residual evaluation."""
+    if ctx.parallelism < 2:
+        return None
+    match = _match_index_range(plan, ctx)
+    if match is None:
+        return None
+    get, prop, low, high, include_low, include_high, rest = match
+    if rest is None or not _method_bearing(rest, ctx, get):
+        return None
+    return [ParallelIndexRangeScan(get.ref, get.class_name, prop, low, high,
+                                   include_low, include_high,
+                                   condition=rest, degree=ctx.parallelism)]
+
+
+def _implement_map_parallel(plan: LogicalOperator,
+                            children: tuple[PhysicalOperator, ...],
+                            ctx: RuleContext
+                            ) -> Optional[Iterable[PhysicalOperator]]:
+    """map<a, method-bearing expr>(S) → morsel-driven parallel map."""
+    if ctx.parallelism < 2:
+        return None
+    if not isinstance(plan, Map) or not _method_bearing(plan.expression, ctx, plan.input):
+        return None
+    return [ParallelMap(plan.ref, plan.expression, children[0],
+                        degree=ctx.parallelism)]
+
+
+def _implement_join_hash_parallel(plan: LogicalOperator,
+                                  children: tuple[PhysicalOperator, ...],
+                                  ctx: RuleContext
+                                  ) -> Optional[Iterable[PhysicalOperator]]:
+    """Equi-join with method-bearing keys → hash join with parallel key
+    evaluation (the exp5 ``sameDocument`` shape after the J1 rewrite)."""
+    if ctx.parallelism < 2:
+        return None
+    if not isinstance(plan, Join):
+        return None
+    keys = _split_equi_condition(plan)
+    if keys is None:
+        return None
+    left_key, right_key = keys
+    if not (_method_bearing(left_key, ctx, plan.left)
+            or _method_bearing(right_key, ctx, plan.right)):
+        return None
+    return [ParallelHashJoin(left_key, right_key, children[0], children[1],
+                             degree=ctx.parallelism)]
+
+
+def parallel_implementations() -> list[CallableImplementationRule]:
+    """The parallel implementation rules (tag ``parallel``)."""
+    specs = [
+        ("impl-select-parallel-scan",
+         "method-bearing filter over hash partitions on worker threads",
+         _implement_select_parallel_scan),
+        ("impl-select-parallel-index-eq",
+         "index equality lookup with parallel residual evaluation",
+         _implement_select_parallel_index_eq),
+        ("impl-select-parallel-index-range",
+         "index range lookup with parallel residual evaluation",
+         _implement_select_parallel_index_range),
+        ("impl-map-parallel",
+         "morsel-driven parallel map of a method-bearing expression",
+         _implement_map_parallel),
+        ("impl-join-hash-parallel",
+         "hash join with parallel method-bearing key evaluation",
+         _implement_join_hash_parallel),
+    ]
+    return [CallableImplementationRule(name=name, description=description,
+                                       tags=_PARALLEL, function=function)
+            for name, description, function in specs]
+
+
 def standard_implementations() -> list[CallableImplementationRule]:
     """The predefined implementation rules."""
     specs = [
@@ -529,7 +738,10 @@ def standard_implementations() -> list[CallableImplementationRule]:
 
 
 def standard_rules() -> RuleSet:
-    """The complete predefined rule set (transformations + implementations)."""
+    """The complete predefined rule set (transformations + implementations,
+    including the parallel implementation rules — inert unless the rule
+    context carries ``parallelism >= 2``)."""
     return RuleSet("standard",
                    transformations=standard_transformations(),
-                   implementations=standard_implementations())
+                   implementations=(standard_implementations()
+                                    + parallel_implementations()))

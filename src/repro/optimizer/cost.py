@@ -53,6 +53,11 @@ from repro.physical.plans import (
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
+    ParallelHashJoin,
+    ParallelIndexEqScan,
+    ParallelIndexRangeScan,
+    ParallelMap,
+    ParallelScan,
     PhysicalOperator,
     ProjectOp,
     SetProbeFilter,
@@ -99,6 +104,14 @@ class CostModel:
     METHOD_PREDICATE_SELECTIVITY = 0.1
     #: number of objects sampled when measuring property fan-outs
     FANOUT_SAMPLE_SIZE = 200
+    # parallel execution: fixed dispatch + ordered-merge cost per parallel
+    # node, plus per-tuple morsel bookkeeping.  Only the *expression* work
+    # (method evaluation) is divided by the degree — scan/emit/merge stay
+    # sequential — so parallelism pays exactly when the saved method work,
+    # ``expression cost × cardinality × (1 - 1/degree)``, clears this
+    # startup threshold.
+    PARALLEL_STARTUP_COST = 40.0
+    PARALLEL_TUPLE_OVERHEAD = 0.02
 
     def __init__(self, schema: Schema, database: Optional[Database] = None):
         self.schema = schema
@@ -111,27 +124,25 @@ class CostModel:
     # ------------------------------------------------------------------
     def estimate(self, plan: PhysicalOperator) -> CostEstimate:
         """Estimate the cost and cardinality of a physical plan."""
+        # Parallel variants subclass their sequential counterparts, so they
+        # must be dispatched before the parent isinstance checks below.
+        if isinstance(plan, (ParallelScan, ParallelIndexEqScan,
+                             ParallelIndexRangeScan, ParallelMap,
+                             ParallelHashJoin)):
+            return self._estimate_parallel(plan)
+
         if isinstance(plan, ClassScan):
             cardinality = self.extension_size(plan.class_name)
             return CostEstimate(cardinality * self.TUPLE_SCAN_COST, cardinality)
 
         if isinstance(plan, IndexEqScan):
-            size = self.extension_size(plan.class_name)
-            cardinality = max(size * self.EQUALITY_SELECTIVITY, 1.0)
-            index = (self.database.indexes.get(plan.class_name, plan.prop)
-                     if self.database is not None else None)
-            if isinstance(index, HashIndex) and index.distinct_keys() > 0:
-                cardinality = max(len(index) / index.distinct_keys(), 1.0)
+            cardinality = self._index_eq_cardinality(plan)
             return CostEstimate(
                 self.INDEX_LOOKUP_COST + cardinality * self.TUPLE_EMIT_COST,
                 cardinality)
 
         if isinstance(plan, IndexRangeScan):
-            size = self.extension_size(plan.class_name)
-            selectivity = self.RANGE_SELECTIVITY
-            if plan.low is not None and plan.high is not None:
-                selectivity *= self.RANGE_SELECTIVITY
-            cardinality = max(size * selectivity, 1.0)
+            cardinality = self._index_range_cardinality(plan)
             return CostEstimate(
                 self.INDEX_LOOKUP_COST + cardinality * self.TUPLE_EMIT_COST,
                 cardinality)
@@ -232,8 +243,94 @@ class CostModel:
         return CostEstimate(cost, cardinality)
 
     # ------------------------------------------------------------------
+    # parallel operators
+    # ------------------------------------------------------------------
+    def _estimate_parallel(self, plan: PhysicalOperator) -> CostEstimate:
+        """Cost of the morsel-driven parallel variants.
+
+        The parallelizable share (per-tuple expression evaluation) is
+        divided by the degree; scanning, emitting and merging are charged
+        sequentially, plus a fixed startup cost per parallel node.
+        """
+        degree = max(plan.degree, 1)  # type: ignore[attr-defined]
+
+        if isinstance(plan, ParallelScan):
+            size = self.extension_size(plan.class_name)
+            if plan.condition is None:
+                per_tuple = 0.0
+                selectivity = 1.0
+            else:
+                per_tuple = self.expression_cost(plan.condition)
+                selectivity = self.condition_selectivity(plan.condition, size)
+            cost = (self.PARALLEL_STARTUP_COST
+                    + size * (self.TUPLE_SCAN_COST + self.PARALLEL_TUPLE_OVERHEAD)
+                    + size * per_tuple / degree)
+            return CostEstimate(cost, max(size * selectivity, 0.0))
+
+        if isinstance(plan, (ParallelIndexEqScan, ParallelIndexRangeScan)):
+            # Matching cardinality as estimated for the sequential scan.
+            matches = (self._index_eq_cardinality(plan)
+                       if isinstance(plan, ParallelIndexEqScan)
+                       else self._index_range_cardinality(plan))
+            if plan.condition is None:
+                per_tuple = 0.0
+                selectivity = 1.0
+            else:
+                per_tuple = self.expression_cost(plan.condition)
+                selectivity = self.condition_selectivity(plan.condition, matches)
+            cost = (self.INDEX_LOOKUP_COST + self.PARALLEL_STARTUP_COST
+                    + matches * (self.TUPLE_EMIT_COST + self.PARALLEL_TUPLE_OVERHEAD)
+                    + matches * per_tuple / degree)
+            return CostEstimate(cost, max(matches * selectivity, 0.0))
+
+        if isinstance(plan, ParallelMap):
+            inner = self.estimate(plan.input)
+            per_tuple = self.expression_cost(plan.expression)
+            cost = (inner.cost + self.PARALLEL_STARTUP_COST
+                    + inner.cardinality * self.PARALLEL_TUPLE_OVERHEAD
+                    + inner.cardinality * per_tuple / degree)
+            return CostEstimate(cost, inner.cardinality)
+
+        if isinstance(plan, ParallelHashJoin):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            key_cost = (self.expression_cost(plan.left_key)
+                        + self.expression_cost(plan.right_key)) / 2.0
+            build = right.cardinality * (key_cost / degree + self.HASH_BUILD_COST)
+            probe = left.cardinality * (key_cost / degree + self.PROBE_COST)
+            overhead = ((left.cardinality + right.cardinality)
+                        * self.PARALLEL_TUPLE_OVERHEAD)
+            join_selectivity = 1.0 / max(left.cardinality, right.cardinality, 1.0)
+            cardinality = left.cardinality * right.cardinality * join_selectivity
+            return CostEstimate(
+                left.cost + right.cost + self.PARALLEL_STARTUP_COST
+                + build + probe + overhead,
+                cardinality)
+
+        raise ReproError(f"not a parallel operator: {plan!r}")
+
+    # ------------------------------------------------------------------
     # statistics primitives
     # ------------------------------------------------------------------
+    def _index_eq_cardinality(self, plan: IndexEqScan) -> float:
+        """Expected matches of an equality index lookup (shared by the
+        sequential and parallel scan estimates)."""
+        size = self.extension_size(plan.class_name)
+        cardinality = max(size * self.EQUALITY_SELECTIVITY, 1.0)
+        index = (self.database.indexes.get(plan.class_name, plan.prop)
+                 if self.database is not None else None)
+        if isinstance(index, HashIndex) and index.distinct_keys() > 0:
+            cardinality = max(len(index) / index.distinct_keys(), 1.0)
+        return cardinality
+
+    def _index_range_cardinality(self, plan: IndexRangeScan) -> float:
+        """Expected matches of a range index lookup."""
+        size = self.extension_size(plan.class_name)
+        selectivity = self.RANGE_SELECTIVITY
+        if plan.low is not None and plan.high is not None:
+            selectivity *= self.RANGE_SELECTIVITY
+        return max(size * selectivity, 1.0)
+
     def extension_size(self, class_name: str) -> float:
         if self.database is not None:
             try:

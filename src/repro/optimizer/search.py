@@ -104,12 +104,16 @@ class Optimizer:
     def __init__(self, schema: Schema, rule_set: RuleSet,
                  database: Optional[Database] = None,
                  cost_model: Optional[CostModel] = None,
-                 options: Optional[OptimizerOptions] = None):
+                 options: Optional[OptimizerOptions] = None,
+                 parallelism: int = 1):
         self.schema = schema
         self.rule_set = rule_set
         self.database = database
         self.cost_model = cost_model or CostModel(schema, database)
         self.options = options or OptimizerOptions()
+        #: degree of parallelism offered to the parallel implementation
+        #: rules (1 = sequential plans only)
+        self.parallelism = max(parallelism, 1)
 
     # ------------------------------------------------------------------
     # public API
@@ -118,7 +122,8 @@ class Optimizer:
         """Optimize *logical_plan* and return the cheapest physical plan."""
         statistics = OptimizerStatistics()
         trace = OptimizationTrace(enabled=self.options.enable_trace)
-        context = RuleContext(self.schema, self.database)
+        context = RuleContext(self.schema, self.database,
+                              parallelism=self.parallelism)
         started = time.perf_counter()
 
         alternatives = self._explore(logical_plan, context, statistics, trace)

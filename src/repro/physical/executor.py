@@ -26,6 +26,12 @@ from repro.errors import ExecutionError
 from repro.physical.compiler import ExpressionCompiler
 from repro.physical.evaluator import EMPTY_ROW, make_hashable
 from repro.physical.interpreter import _iterate_set, _require_index
+from repro.physical.parallel import (
+    merge_hash_join,
+    run_filter_morsels,
+    run_key_morsels,
+    run_map_morsels,
+)
 from repro.physical.plans import (
     ClassScan,
     DiffOp,
@@ -38,6 +44,11 @@ from repro.physical.plans import (
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
+    ParallelHashJoin,
+    ParallelIndexEqScan,
+    ParallelIndexRangeScan,
+    ParallelMap,
+    ParallelScan,
     PhysicalOperator,
     ProjectOp,
     SetProbeFilter,
@@ -241,6 +252,70 @@ def _diff(plan: DiffOp, database: Database,
             yield row
 
 
+# ----------------------------------------------------------------------
+# parallel operators (morsel-driven, ordered merge; shared bodies live in
+# repro.physical.parallel so the prepared engine stays in lock-step)
+# ----------------------------------------------------------------------
+def _parallel_scan(plan: ParallelScan, database: Database,
+                   compiler: ExpressionCompiler) -> Iterator[Row]:
+    predicate = (compiler.compile_predicate(plan.condition)
+                 if plan.condition is not None else None)
+    partitions = database.extension_partitions(plan.class_name)
+    return iter(run_filter_morsels(partitions, predicate, plan.ref,
+                                   plan.degree))
+
+
+def _parallel_index_eq_scan(plan: ParallelIndexEqScan, database: Database,
+                            compiler: ExpressionCompiler) -> Iterator[Row]:
+    index = _require_index(plan, database)
+    key = plan.key
+    if isinstance(key, Expression):
+        key = compiler.compile(key)(EMPTY_ROW)
+    database.statistics.record_index_lookup()
+    predicate = (compiler.compile_predicate(plan.condition)
+                 if plan.condition is not None else None)
+    return iter(run_filter_morsels([sorted(index.lookup(key))], predicate,
+                                   plan.ref, plan.degree))
+
+
+def _parallel_index_range_scan(plan: ParallelIndexRangeScan, database: Database,
+                               compiler: ExpressionCompiler) -> Iterator[Row]:
+    index = _require_index(plan, database)
+    if index.kind != "sorted":
+        raise ExecutionError(
+            f"{plan.describe()} requires a sorted index, found "
+            f"{index.kind!r}")
+    database.statistics.record_index_lookup()
+    oids = index.range(plan.low, plan.high,
+                       include_low=plan.include_low,
+                       include_high=plan.include_high)
+    predicate = (compiler.compile_predicate(plan.condition)
+                 if plan.condition is not None else None)
+    return iter(run_filter_morsels([sorted(oids)], predicate,
+                                   plan.ref, plan.degree))
+
+
+def _parallel_map(plan: ParallelMap, database: Database,
+                  compiler: ExpressionCompiler) -> Iterator[Row]:
+    expression = compiler.compile(plan.expression)
+    rows = list(_open(plan.input, database, compiler))
+    return iter(run_map_morsels(rows, expression, plan.ref, plan.degree))
+
+
+def _parallel_hash_join(plan: ParallelHashJoin, database: Database,
+                        compiler: ExpressionCompiler) -> Iterator[Row]:
+    left_key = compiler.compile(plan.left_key)
+    right_key = compiler.compile(plan.right_key)
+    degree = plan.degree
+    # Build side first, then probe side: the sequential HashJoin's work
+    # ordering, so statistics interleave the same way.
+    right_rows = list(_open(plan.right, database, compiler))
+    right_keys = run_key_morsels(right_rows, right_key, degree)
+    left_rows = list(_open(plan.left, database, compiler))
+    left_keys = run_key_morsels(left_rows, left_key, degree)
+    return merge_hash_join(left_rows, left_keys, right_rows, right_keys)
+
+
 _BUILDERS = {
     ClassScan: _class_scan,
     IndexEqScan: _index_eq_scan,
@@ -256,4 +331,9 @@ _BUILDERS = {
     NaturalMergeJoin: _natural_merge_join,
     UnionOp: _union,
     DiffOp: _diff,
+    ParallelScan: _parallel_scan,
+    ParallelIndexEqScan: _parallel_index_eq_scan,
+    ParallelIndexRangeScan: _parallel_index_range_scan,
+    ParallelMap: _parallel_map,
+    ParallelHashJoin: _parallel_hash_join,
 }

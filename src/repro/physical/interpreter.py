@@ -48,6 +48,9 @@ from repro.physical.plans import (
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
+    ParallelIndexEqScan,
+    ParallelIndexRangeScan,
+    ParallelScan,
     PhysicalOperator,
     ProjectOp,
     SetProbeFilter,
@@ -61,7 +64,26 @@ Row = dict[str, Any]
 
 def execute_plan_interpreted(plan: PhysicalOperator,
                              database: Database) -> list[Row]:
-    """Execute *plan* against *database* interpretively (reference engine)."""
+    """Execute *plan* against *database* interpretively (reference engine).
+
+    Parallel operators are executed *sequentially* with identical semantics
+    (partition order for :class:`ParallelScan`, OID order for the parallel
+    index scans) — this is what makes the interpreter the oracle every
+    parallel plan is differentially checked against.  ``ParallelMap`` and
+    ``ParallelHashJoin`` need no cases of their own: their sequential
+    semantics are exactly their parent operators', which the isinstance
+    dispatch below already covers.
+    """
+    if isinstance(plan, ParallelScan):
+        rows: list[Row] = []
+        for partition in database.extension_partitions(plan.class_name):
+            for oid in partition:
+                row = {plan.ref: oid}
+                if plan.condition is None or evaluate_predicate(
+                        plan.condition, row, database):
+                    rows.append(row)
+        return rows
+
     if isinstance(plan, ClassScan):
         return [{plan.ref: oid} for oid in database.extension(plan.class_name)]
 
@@ -73,7 +95,13 @@ def execute_plan_interpreted(plan: PhysicalOperator,
             # an unbound Parameter raises, as everywhere in this engine.
             key = evaluate(key, EMPTY_ROW, database)
         database.statistics.record_index_lookup()
-        return [{plan.ref: oid} for oid in sorted(index.lookup(key))]
+        rows = [{plan.ref: oid} for oid in sorted(index.lookup(key))]
+        # The parallel variant only adds a residual predicate on top of the
+        # identical lookup semantics (same for the range scan below).
+        if isinstance(plan, ParallelIndexEqScan) and plan.condition is not None:
+            rows = [row for row in rows
+                    if evaluate_predicate(plan.condition, row, database)]
+        return rows
 
     if isinstance(plan, IndexRangeScan):
         index = _require_index(plan, database)
@@ -85,7 +113,11 @@ def execute_plan_interpreted(plan: PhysicalOperator,
         oids = index.range(plan.low, plan.high,
                            include_low=plan.include_low,
                            include_high=plan.include_high)
-        return [{plan.ref: oid} for oid in sorted(oids)]
+        rows = [{plan.ref: oid} for oid in sorted(oids)]
+        if isinstance(plan, ParallelIndexRangeScan) and plan.condition is not None:
+            rows = [row for row in rows
+                    if evaluate_predicate(plan.condition, row, database)]
+        return rows
 
     if isinstance(plan, ExpressionSetScan):
         value = evaluate(plan.expression, {}, database)

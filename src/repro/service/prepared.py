@@ -34,6 +34,12 @@ from repro.physical.compiler import ExpressionCompiler
 from repro.physical.evaluator import EMPTY_ROW, make_hashable
 from repro.physical.executor import Row
 from repro.physical.interpreter import _iterate_set, _require_index
+from repro.physical.parallel import (
+    merge_hash_join,
+    run_filter_morsels,
+    run_key_morsels,
+    run_map_morsels,
+)
 from repro.physical.plans import (
     ClassScan,
     DiffOp,
@@ -46,6 +52,11 @@ from repro.physical.plans import (
     MapEval,
     NaturalMergeJoin,
     NestedLoopJoin,
+    ParallelHashJoin,
+    ParallelIndexEqScan,
+    ParallelIndexRangeScan,
+    ParallelMap,
+    ParallelScan,
     PhysicalOperator,
     ProjectOp,
     SetProbeFilter,
@@ -80,6 +91,11 @@ class BindingEnv:
     def restore(self, previous: Any) -> None:
         self._local.bindings = previous
 
+    def current(self) -> Optional[Mapping[str, Any]]:
+        """The bindings active on the calling thread (for propagation into
+        parallel worker threads)."""
+        return getattr(self._local, "bindings", None)
+
     def resolve(self, key: str) -> Any:
         bindings = getattr(self._local, "bindings", None)
         if bindings is None or key not in bindings:
@@ -98,7 +114,7 @@ class PreparedExecutable:
         self._env = BindingEnv()
         compiler = ExpressionCompiler(database,
                                       parameter_resolver=self._env.resolve)
-        self._root = _build(plan, database, compiler)
+        self._root = _build(plan, database, compiler, self._env)
 
     def run(self, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:
         """Execute the plan with *bindings* and return the result rows.
@@ -122,15 +138,17 @@ def prepare_plan(plan: PhysicalOperator, database: Database) -> PreparedExecutab
 # builders: compile at build time, touch database state at run time
 # ----------------------------------------------------------------------
 def _build(plan: PhysicalOperator, database: Database,
-           compiler: ExpressionCompiler) -> Source:
+           compiler: ExpressionCompiler,
+           env: BindingEnv) -> Source:
     builder = _BUILDERS.get(type(plan))
     if builder is None:
         raise ExecutionError(f"unknown physical operator {plan!r}")
-    return builder(plan, database, compiler)
+    return builder(plan, database, compiler, env)
 
 
 def _class_scan(plan: ClassScan, database: Database,
-                compiler: ExpressionCompiler) -> Source:
+                compiler: ExpressionCompiler,
+                env: BindingEnv) -> Source:
     ref = plan.ref
     class_name = plan.class_name
 
@@ -142,7 +160,8 @@ def _class_scan(plan: ClassScan, database: Database,
 
 
 def _index_eq_scan(plan: IndexEqScan, database: Database,
-                   compiler: ExpressionCompiler) -> Source:
+                   compiler: ExpressionCompiler,
+                   env: BindingEnv) -> Source:
     ref = plan.ref
     if isinstance(plan.key, Expression):
         key_fn = compiler.compile(plan.key)
@@ -161,7 +180,8 @@ def _index_eq_scan(plan: IndexEqScan, database: Database,
 
 
 def _index_range_scan(plan: IndexRangeScan, database: Database,
-                      compiler: ExpressionCompiler) -> Source:
+                      compiler: ExpressionCompiler,
+                      env: BindingEnv) -> Source:
     ref = plan.ref
 
     def run() -> Iterator[Row]:
@@ -181,7 +201,8 @@ def _index_range_scan(plan: IndexRangeScan, database: Database,
 
 
 def _expression_set_scan(plan: ExpressionSetScan, database: Database,
-                         compiler: ExpressionCompiler) -> Source:
+                         compiler: ExpressionCompiler,
+                         env: BindingEnv) -> Source:
     value_fn = compiler.compile(plan.expression)
     ref = plan.ref
 
@@ -193,9 +214,10 @@ def _expression_set_scan(plan: ExpressionSetScan, database: Database,
 
 
 def _filter(plan: Filter, database: Database,
-            compiler: ExpressionCompiler) -> Source:
+            compiler: ExpressionCompiler,
+            env: BindingEnv) -> Source:
     predicate = compiler.compile_predicate(plan.condition)
-    source = _build(plan.input, database, compiler)
+    source = _build(plan.input, database, compiler, env)
 
     def run() -> Iterator[Row]:
         for row in source():
@@ -206,9 +228,10 @@ def _filter(plan: Filter, database: Database,
 
 
 def _set_probe_filter(plan: SetProbeFilter, database: Database,
-                      compiler: ExpressionCompiler) -> Source:
+                      compiler: ExpressionCompiler,
+                      env: BindingEnv) -> Source:
     value_fn = compiler.compile(plan.set_expression)
-    source = _build(plan.input, database, compiler)
+    source = _build(plan.input, database, compiler, env)
     ref = plan.ref
 
     def run() -> Iterator[Row]:
@@ -224,9 +247,10 @@ def _set_probe_filter(plan: SetProbeFilter, database: Database,
 
 
 def _map_eval(plan: MapEval, database: Database,
-              compiler: ExpressionCompiler) -> Source:
+              compiler: ExpressionCompiler,
+              env: BindingEnv) -> Source:
     expression = compiler.compile(plan.expression)
-    source = _build(plan.input, database, compiler)
+    source = _build(plan.input, database, compiler, env)
     ref = plan.ref
 
     def run() -> Iterator[Row]:
@@ -237,9 +261,10 @@ def _map_eval(plan: MapEval, database: Database,
 
 
 def _flatten_eval(plan: FlattenEval, database: Database,
-                  compiler: ExpressionCompiler) -> Source:
+                  compiler: ExpressionCompiler,
+                  env: BindingEnv) -> Source:
     expression = compiler.compile(plan.expression)
-    source = _build(plan.input, database, compiler)
+    source = _build(plan.input, database, compiler, env)
     ref = plan.ref
 
     def run() -> Iterator[Row]:
@@ -251,9 +276,10 @@ def _flatten_eval(plan: FlattenEval, database: Database,
 
 
 def _project(plan: ProjectOp, database: Database,
-             compiler: ExpressionCompiler) -> Source:
+             compiler: ExpressionCompiler,
+             env: BindingEnv) -> Source:
     kept = plan.kept
-    source = _build(plan.input, database, compiler)
+    source = _build(plan.input, database, compiler, env)
 
     def run() -> Iterator[Row]:
         seen: set[Any] = set()
@@ -267,10 +293,11 @@ def _project(plan: ProjectOp, database: Database,
 
 
 def _nested_loop_join(plan: NestedLoopJoin, database: Database,
-                      compiler: ExpressionCompiler) -> Source:
+                      compiler: ExpressionCompiler,
+                      env: BindingEnv) -> Source:
     predicate = compiler.compile_predicate(plan.condition)
-    left_source = _build(plan.left, database, compiler)
-    right_source = _build(plan.right, database, compiler)
+    left_source = _build(plan.left, database, compiler, env)
+    right_source = _build(plan.right, database, compiler, env)
 
     def run() -> Iterator[Row]:
         right_rows = list(right_source())
@@ -284,11 +311,12 @@ def _nested_loop_join(plan: NestedLoopJoin, database: Database,
 
 
 def _hash_join(plan: HashJoin, database: Database,
-               compiler: ExpressionCompiler) -> Source:
+               compiler: ExpressionCompiler,
+               env: BindingEnv) -> Source:
     left_key = compiler.compile(plan.left_key)
     right_key = compiler.compile(plan.right_key)
-    left_source = _build(plan.left, database, compiler)
-    right_source = _build(plan.right, database, compiler)
+    left_source = _build(plan.left, database, compiler, env)
+    right_source = _build(plan.right, database, compiler, env)
 
     def run() -> Iterator[Row]:
         table: dict[Any, list[Row]] = defaultdict(list)
@@ -304,10 +332,11 @@ def _hash_join(plan: HashJoin, database: Database,
 
 
 def _natural_merge_join(plan: NaturalMergeJoin, database: Database,
-                        compiler: ExpressionCompiler) -> Source:
+                        compiler: ExpressionCompiler,
+                        env: BindingEnv) -> Source:
     common = plan.common_refs()
-    left_source = _build(plan.left, database, compiler)
-    right_source = _build(plan.right, database, compiler)
+    left_source = _build(plan.left, database, compiler, env)
+    right_source = _build(plan.right, database, compiler, env)
 
     def run() -> Iterator[Row]:
         right_rows = list(right_source())
@@ -331,9 +360,10 @@ def _natural_merge_join(plan: NaturalMergeJoin, database: Database,
 
 
 def _union(plan: UnionOp, database: Database,
-           compiler: ExpressionCompiler) -> Source:
-    left_source = _build(plan.left, database, compiler)
-    right_source = _build(plan.right, database, compiler)
+           compiler: ExpressionCompiler,
+           env: BindingEnv) -> Source:
+    left_source = _build(plan.left, database, compiler, env)
+    right_source = _build(plan.right, database, compiler, env)
 
     def run() -> Iterator[Row]:
         seen: set[Any] = set()
@@ -348,9 +378,10 @@ def _union(plan: UnionOp, database: Database,
 
 
 def _diff(plan: DiffOp, database: Database,
-          compiler: ExpressionCompiler) -> Source:
-    left_source = _build(plan.left, database, compiler)
-    right_source = _build(plan.right, database, compiler)
+          compiler: ExpressionCompiler,
+          env: BindingEnv) -> Source:
+    left_source = _build(plan.left, database, compiler, env)
+    right_source = _build(plan.right, database, compiler, env)
 
     def run() -> Iterator[Row]:
         right_keys = {make_hashable(row) for row in right_source()}
@@ -362,6 +393,132 @@ def _diff(plan: DiffOp, database: Database,
             seen.add(key)
             if key not in right_keys:
                 yield row
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# parallel operators: the operator bodies are shared with the compiled
+# executor (repro.physical.parallel); the prepared engine additionally
+# captures the run thread's bindings and re-pushes them inside every
+# worker, so compiled Parameter closures resolve correctly off-thread
+# ----------------------------------------------------------------------
+def _bound_worker(env: BindingEnv
+                  ) -> Callable[[Callable[[list], list]], Callable[[list], list]]:
+    """A worker wrapper propagating the submitting thread's bindings."""
+    bindings = env.current()
+
+    def wrap(work: Callable[[list], list]) -> Callable[[list], list]:
+        def bound(morsel: list) -> list:
+            previous = env.push(bindings)
+            try:
+                return work(morsel)
+            finally:
+                env.restore(previous)
+
+        return bound
+
+    return wrap
+
+
+def _parallel_scan(plan: ParallelScan, database: Database,
+                   compiler: ExpressionCompiler,
+                   env: BindingEnv) -> Source:
+    predicate = (compiler.compile_predicate(plan.condition)
+                 if plan.condition is not None else None)
+    ref = plan.ref
+    class_name = plan.class_name
+    degree = plan.degree
+
+    def run() -> Iterator[Row]:
+        partitions = database.extension_partitions(class_name)
+        yield from run_filter_morsels(partitions, predicate, ref, degree,
+                                      wrap=_bound_worker(env))
+
+    return run
+
+
+def _parallel_index_eq_scan(plan: ParallelIndexEqScan, database: Database,
+                            compiler: ExpressionCompiler,
+                            env: BindingEnv) -> Source:
+    ref = plan.ref
+    degree = plan.degree
+    if isinstance(plan.key, Expression):
+        key_fn = compiler.compile(plan.key)
+    else:
+        constant_key = plan.key
+        key_fn = lambda row: constant_key  # noqa: E731 - tiny constant closure
+    predicate = (compiler.compile_predicate(plan.condition)
+                 if plan.condition is not None else None)
+
+    def run() -> Iterator[Row]:
+        index = _require_index(plan, database)
+        key = key_fn(EMPTY_ROW)
+        database.statistics.record_index_lookup()
+        yield from run_filter_morsels([sorted(index.lookup(key))], predicate,
+                                      ref, degree, wrap=_bound_worker(env))
+
+    return run
+
+
+def _parallel_index_range_scan(plan: ParallelIndexRangeScan,
+                               database: Database,
+                               compiler: ExpressionCompiler,
+                               env: BindingEnv) -> Source:
+    ref = plan.ref
+    degree = plan.degree
+    predicate = (compiler.compile_predicate(plan.condition)
+                 if plan.condition is not None else None)
+
+    def run() -> Iterator[Row]:
+        index = _require_index(plan, database)
+        if index.kind != "sorted":
+            raise ExecutionError(
+                f"{plan.describe()} requires a sorted index, found "
+                f"{index.kind!r}")
+        database.statistics.record_index_lookup()
+        oids = index.range(plan.low, plan.high,
+                           include_low=plan.include_low,
+                           include_high=plan.include_high)
+        yield from run_filter_morsels([sorted(oids)], predicate, ref, degree,
+                                      wrap=_bound_worker(env))
+
+    return run
+
+
+def _parallel_map(plan: ParallelMap, database: Database,
+                  compiler: ExpressionCompiler,
+                  env: BindingEnv) -> Source:
+    expression = compiler.compile(plan.expression)
+    source = _build(plan.input, database, compiler, env)
+    ref = plan.ref
+    degree = plan.degree
+
+    def run() -> Iterator[Row]:
+        rows = list(source())
+        yield from run_map_morsels(rows, expression, ref, degree,
+                                   wrap=_bound_worker(env))
+
+    return run
+
+
+def _parallel_hash_join(plan: ParallelHashJoin, database: Database,
+                        compiler: ExpressionCompiler,
+                        env: BindingEnv) -> Source:
+    left_key = compiler.compile(plan.left_key)
+    right_key = compiler.compile(plan.right_key)
+    left_source = _build(plan.left, database, compiler, env)
+    right_source = _build(plan.right, database, compiler, env)
+    degree = plan.degree
+
+    def run() -> Iterator[Row]:
+        wrap = _bound_worker(env)
+        right_rows = list(right_source())
+        right_keys = run_key_morsels(right_rows, right_key, degree, wrap=wrap)
+        left_rows = list(left_source())
+        left_keys = run_key_morsels(left_rows, left_key, degree, wrap=wrap)
+        yield from merge_hash_join(left_rows, left_keys,
+                                   right_rows, right_keys)
 
     return run
 
@@ -381,4 +538,9 @@ _BUILDERS = {
     NaturalMergeJoin: _natural_merge_join,
     UnionOp: _union,
     DiffOp: _diff,
+    ParallelScan: _parallel_scan,
+    ParallelIndexEqScan: _parallel_index_eq_scan,
+    ParallelIndexRangeScan: _parallel_index_range_scan,
+    ParallelMap: _parallel_map,
+    ParallelHashJoin: _parallel_hash_join,
 }

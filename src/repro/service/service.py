@@ -37,6 +37,7 @@ from repro.optimizer.knowledge import SchemaKnowledge
 from repro.optimizer.search import OptimizationResult, OptimizerOptions
 from repro.physical.executor import Row
 from repro.physical.naive import naive_implementation
+from repro.physical.parallel import default_parallelism
 from repro.service.cache import CachedPlan, PlanCache
 from repro.service.concurrency import ReadWriteLock
 from repro.service.fingerprint import cache_key, query_fingerprint
@@ -174,16 +175,25 @@ class QueryService:
                  options: Optional[OptimizerOptions] = None,
                  exclude_tags: Sequence[str] = (),
                  cache_capacity: int = 256,
-                 reoptimize_fraction: float = 0.25):
+                 reoptimize_fraction: float = 0.25,
+                 parallelism: Optional[int] = None):
         self.database = database
         self.schema = database.schema
         self.knowledge = knowledge or SchemaKnowledge(self.schema)
         self._options = options
         self._exclude_tags = tuple(exclude_tags)
+        #: intra-query degree of parallelism offered to the optimizer.  The
+        #: degree is embedded in the chosen physical plan (never in the plan
+        #: cache key): one service has one degree, so every cached plan was
+        #: planned under it, and parallel and sequential services on the
+        #: same database keep independent caches by construction.
+        self.parallelism = (default_parallelism() if parallelism is None
+                            else max(parallelism, 1))
         self._generator = OptimizerGenerator(self.schema, self.knowledge,
                                              options=options)
         self._optimizer = self._generator.generate(
-            database=database, exclude_tags=self._exclude_tags, options=options)
+            database=database, exclude_tags=self._exclude_tags, options=options,
+            parallelism=self.parallelism)
         self._knowledge_version = 0
         self._knowledge_size = len(self.knowledge)
         self.cache = PlanCache(capacity=cache_capacity,
@@ -385,7 +395,7 @@ class QueryService:
             self.schema, self.knowledge, options=self._options)
         self._optimizer = self._generator.generate(
             database=self.database, exclude_tags=self._exclude_tags,
-            options=self._options)
+            options=self._options, parallelism=self.parallelism)
         self._knowledge_version += 1
         self._knowledge_size = len(self.knowledge)
 

@@ -25,6 +25,7 @@ from repro.optimizer.search import (
 )
 from repro.physical.evaluator import make_hashable
 from repro.physical.executor import Row, execute_plan
+from repro.physical.parallel import default_parallelism
 from repro.physical.naive import naive_implementation
 from repro.physical.plans import PhysicalOperator
 from repro.vql.analyzer import AnalyzedQuery, analyze_query
@@ -62,23 +63,34 @@ class QueryResult:
 
 
 class Session:
-    """A connection-like object bundling a database with its optimizer."""
+    """A connection-like object bundling a database with its optimizer.
+
+    ``parallelism`` is the intra-query degree-of-parallelism knob: with a
+    degree of 2 or more the generated optimizer may choose morsel-driven
+    parallel operators for method-bearing work (the degree becomes part of
+    the physical plan).  ``None`` uses the ``REPRO_PARALLEL_DEFAULT``
+    environment variable, defaulting to 1 (sequential plans only).
+    """
 
     def __init__(self, database: Database,
                  knowledge: Optional[SchemaKnowledge] = None,
                  optimizer: Optional[Optimizer] = None,
                  options: Optional[OptimizerOptions] = None,
-                 exclude_tags: Sequence[str] = ()):
+                 exclude_tags: Sequence[str] = (),
+                 parallelism: Optional[int] = None):
         self.database = database
         self.schema = database.schema
         self.knowledge = knowledge or SchemaKnowledge(self.schema)
+        self.parallelism = (default_parallelism() if parallelism is None
+                            else max(parallelism, 1))
         self._generator = OptimizerGenerator(self.schema, self.knowledge,
                                              options=options)
         if optimizer is not None:
             self.optimizer = optimizer
         else:
             self.optimizer = self._generator.generate(
-                database=database, exclude_tags=exclude_tags, options=options)
+                database=database, exclude_tags=exclude_tags, options=options,
+                parallelism=self.parallelism)
 
     # ------------------------------------------------------------------
     # pipeline stages

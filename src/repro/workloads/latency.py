@@ -1,0 +1,66 @@
+"""Simulated external-engine latency for method implementations.
+
+The paper's externally implemented methods (IR engine calls, index-manager
+lookups) run in separate engines; each invocation blocks the calling thread
+for the engine's round-trip without consuming database CPU.  The in-process
+reproduction evaluates those implementations inline, which hides exactly
+the property that makes intra-query parallelism attractive.
+
+:func:`simulate_method_latency` restores it: the selected method
+implementations are wrapped with a ``time.sleep`` per call.  Sleeping
+releases the GIL, so morsel-driven parallel operators overlap the simulated
+round-trips — the wall-clock speedup measured by
+``benchmarks/bench_exp10_parallel.py`` is the speedup a real external
+engine would give.
+
+Only use this on a schema you own (e.g. one freshly built by
+:func:`repro.workloads.generate_document_database`); the wrapping mutates
+the :class:`~repro.datamodel.schema.MethodDef` objects in place.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+from repro.datamodel.schema import MethodKind, Schema
+
+__all__ = ["simulate_method_latency"]
+
+
+def _with_latency(implementation: Callable[..., Any],
+                  seconds: float) -> Callable[..., Any]:
+    def slowed(ctx, receiver, *args):
+        time.sleep(seconds)
+        return implementation(ctx, receiver, *args)
+
+    slowed.__name__ = getattr(implementation, "__name__", "slowed")
+    return slowed
+
+
+def simulate_method_latency(schema: Schema,
+                            latencies: Mapping[str, float]) -> int:
+    """Wrap method implementations of *schema* with simulated latency.
+
+    *latencies* maps method names to per-call seconds; every instance or
+    class method of any class whose name appears in the mapping (and that
+    has an implementation) is wrapped.  Returns the number of methods
+    wrapped.  Wrap **before** opening sessions or services: compiled plans
+    pre-resolve implementations, so later wrapping does not affect them.
+
+    Wrapped methods are re-kinded as EXTERNAL: a method with engine-call
+    latency *is* an externally implemented method, and the optimizer's
+    parallel rules only consider external methods worth offloading to
+    worker threads (internal methods are inline CPU — GIL-serialized).
+    """
+    wrapped = 0
+    for class_def in schema.classes.values():
+        for table in (class_def.instance_methods, class_def.class_methods):
+            for name, method in table.items():
+                seconds = latencies.get(name, 0.0)
+                if seconds > 0 and method.implementation is not None:
+                    method.implementation = _with_latency(
+                        method.implementation, seconds)
+                    method.kind = MethodKind.EXTERNAL
+                    wrapped += 1
+    return wrapped

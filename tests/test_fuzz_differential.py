@@ -1,0 +1,301 @@
+"""Differential fuzzing: interpreter vs compiled vs parallel engines.
+
+A seeded random VQL query generator produces selections, method calls,
+joins and bind parameters over the document schema.  Every generated query
+is executed by
+
+* the reference **interpreter** on the naive physical plan (the oracle),
+* the **compiled** pipelined engine on the naive, the optimized sequential
+  and the optimized parallel (degree 4) plans,
+* the **prepared** executable (the service's compile-once path) on the
+  parallel plan, and
+* all three engines on a *force-parallelized* lowering of the naive plan
+  (every eligible operator replaced by its morsel-driven variant), so the
+  parallel operators are exercised even when the cost model would not pick
+  them,
+
+and all results must be identical row multisets.  Seeds are fixed, so CI
+runs the same ~200 cases every time; set ``REPRO_FUZZ_CASES`` to fuzz a
+larger space locally.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+from collections import Counter
+
+import pytest
+
+from repro.algebra.translate import translate_query
+from repro.physical.evaluator import make_hashable
+from repro.physical.executor import execute_plan
+from repro.physical.interpreter import execute_plan_interpreted
+from repro.physical.naive import naive_implementation
+from repro.physical.plans import (
+    ClassScan,
+    Filter,
+    HashJoin,
+    MapEval,
+    ParallelHashJoin,
+    ParallelMap,
+    ParallelScan,
+    PhysicalOperator,
+)
+from repro.service.prepared import prepare_plan
+from repro.session import Session
+from repro.workloads import document_knowledge, generate_document_database
+
+#: number of seeded cases run in CI (a case is one generated query)
+N_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+#: degree used for parallel plans
+DEGREE = 4
+
+TERMS = ("word0003", "word0005", "word0010", "Implementation", "zzz-missing")
+TITLES = ("Query Optimization", "Document 1", "no such title")
+NUMBERS = (0, 1, 2, 3, 5, 8)
+
+
+# ----------------------------------------------------------------------
+# query generator
+# ----------------------------------------------------------------------
+class QueryGenerator:
+    """Generates random (query text, parameters) pairs over the document
+    schema.  Conditions draw from selections, method calls, joins and
+    bind parameters; every generated query is valid VQL."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.parameters: dict[str, object] = {}
+
+    # -- literals / parameters ------------------------------------------
+    def _value(self, value) -> str:
+        """Render *value* as a literal or, sometimes, as a bind parameter."""
+        if self.rng.random() < 0.25:
+            name = f"p{len(self.parameters)}"
+            self.parameters[name] = value
+            return f":{name}"
+        if isinstance(value, str):
+            return f"'{value}'"
+        return str(value)
+
+    def _term(self) -> str:
+        return self._value(self.rng.choice(TERMS))
+
+    def _number(self) -> str:
+        return self._value(self.rng.choice(NUMBERS))
+
+    # -- conditions ------------------------------------------------------
+    def _paragraph_atoms(self, var: str) -> list[str]:
+        return [
+            f"{var}.number == {self._number()}",
+            f"{var}.number < {self._number()}",
+            f"{var}.number >= {self._number()}",
+            f"{var}->wordCount() > {self._number()}",
+            f"{var}->contains_string({self._term()})",
+            f"({var}->document()).title == {self._value(self.rng.choice(TITLES))}",
+            f"{var} IS-IN Paragraph->retrieve_by_string({self._term()})",
+        ]
+
+    def _document_atoms(self, var: str) -> list[str]:
+        return [
+            f"{var}.title == {self._value(self.rng.choice(TITLES))}",
+            f"{var} IS-IN Document->select_by_index({self._value(self.rng.choice(TITLES))})",
+        ]
+
+    def _section_atoms(self, var: str) -> list[str]:
+        return [
+            f"{var}.number == {self._number()}",
+            f"{var}.number < {self._number()}",
+        ]
+
+    def _atoms(self, var: str, class_name: str) -> list[str]:
+        return {
+            "Paragraph": self._paragraph_atoms,
+            "Document": self._document_atoms,
+            "Section": self._section_atoms,
+        }[class_name](var)
+
+    def _condition(self, variables: list[tuple[str, str]]) -> str:
+        atoms: list[str] = []
+        for var, class_name in variables:
+            atoms.extend(self._atoms(var, class_name))
+        paragraph_vars = [var for var, cls in variables if cls == "Paragraph"]
+        if len(paragraph_vars) >= 2:
+            first, second = paragraph_vars[:2]
+            atoms.append(f"{first}->sameDocument({second})")
+            atoms.append(f"{first}->document() == {second}->document()")
+        picked = self.rng.sample(atoms, k=min(self.rng.randint(1, 3), len(atoms)))
+        rendered = picked[0]
+        for atom in picked[1:]:
+            connective = self.rng.choice(("AND", "AND", "OR"))
+            rendered = f"({rendered}) {connective} ({atom})"
+        if self.rng.random() < 0.15:
+            rendered = f"NOT ({rendered})"
+        return rendered
+
+    # -- whole queries ---------------------------------------------------
+    def generate(self) -> tuple[str, dict[str, object]]:
+        self.parameters = {}
+        shape = self.rng.random()
+        if shape < 0.55:
+            variables = [("p", "Paragraph")]
+        elif shape < 0.7:
+            variables = [(self.rng.choice(("d", "s")),
+                          self.rng.choice(("Document", "Section")))]
+            variables = [(variables[0][0],
+                          "Document" if variables[0][0] == "d" else "Section")]
+        elif shape < 0.9:
+            variables = [("p", "Paragraph"), ("q", "Paragraph")]
+        else:
+            variables = [("p", "Paragraph"), ("d", "Document")]
+
+        condition = self._condition(variables)
+        if len(variables) == 1:
+            var = variables[0][0]
+            access = self.rng.choice((var, f"{var}.number")
+                                     if variables[0][1] != "Document"
+                                     else (var, f"{var}.title"))
+        else:
+            fields = ", ".join(
+                f"f{i}: {var}.number" if cls != "Document" else f"f{i}: {var}.title"
+                for i, (var, cls) in enumerate(variables))
+            access = f"[{fields}]"
+        ranges = ", ".join(f"{var} IN {cls}" for var, cls in variables)
+        text = f"ACCESS {access} FROM {ranges} WHERE {condition}"
+        # atoms are generated eagerly but only sampled into the text, so
+        # keep just the parameters the final query actually references
+        used = {name: value for name, value in self.parameters.items()
+                if re.search(rf":{name}\b", text)}
+        return text, used
+
+
+# ----------------------------------------------------------------------
+# forced parallel lowering
+# ----------------------------------------------------------------------
+def force_parallel(plan: PhysicalOperator, degree: int = DEGREE
+                   ) -> PhysicalOperator:
+    """Replace every eligible operator by its morsel-driven variant."""
+    children = tuple(force_parallel(child, degree) for child in plan.inputs())
+    if isinstance(plan, Filter) and isinstance(plan.input, ClassScan) \
+            and type(plan.input) is ClassScan:
+        return ParallelScan(plan.input.ref, plan.input.class_name,
+                            condition=plan.condition, degree=degree)
+    if type(plan) is MapEval:
+        return ParallelMap(plan.ref, plan.expression, children[0], degree)
+    if type(plan) is HashJoin:
+        return ParallelHashJoin(plan.left_key, plan.right_key,
+                                children[0], children[1], degree)
+    if children:
+        return plan.with_inputs(children)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def multiset(rows):
+    return Counter(make_hashable(row) for row in rows)
+
+
+@pytest.fixture(scope="module")
+def fuzz_db():
+    return generate_document_database(n_documents=2)
+
+
+@pytest.fixture(scope="module")
+def sessions(fuzz_db):
+    knowledge = document_knowledge(fuzz_db.schema)
+    return {
+        "sequential": Session(fuzz_db, knowledge=knowledge, parallelism=1),
+        "parallel": Session(fuzz_db, knowledge=knowledge, parallelism=DEGREE),
+    }
+
+
+def run_one(text: str, parameters: dict, fuzz_db, sessions) -> int:
+    """Run one generated query through every engine; return the row count."""
+    sequential = sessions["sequential"]
+    parallel = sessions["parallel"]
+
+    # Oracle: naive plan, reference interpreter.  Parameters are substituted
+    # before translation, exactly like Session.execute(parameters=...).
+    bound = Session._bind(sequential.analyze(text), parameters or None)
+    translation = translate_query(bound)
+    naive_plan = naive_implementation(translation.plan)
+    oracle = multiset(execute_plan_interpreted(naive_plan, fuzz_db))
+
+    # Compiled engine on the same naive plan.
+    assert multiset(execute_plan(naive_plan, fuzz_db)) == oracle, \
+        f"compiled/naive diverges: {text!r}"
+
+    # Optimized sequential plan (compiled engine via the session).
+    seq_result = sequential.execute(text, parameters=parameters or None)
+    assert multiset(seq_result.rows) == oracle, \
+        f"optimized sequential diverges: {text!r}"
+
+    # Optimized parallel plan: compiled + prepared + interpreter oracle.
+    par_result = parallel.execute(text, parameters=parameters or None)
+    assert multiset(par_result.rows) == oracle, \
+        f"optimized parallel diverges: {text!r}"
+    par_plan = par_result.physical_plan
+    assert multiset(execute_plan_interpreted(par_plan, fuzz_db)) == oracle, \
+        f"interpreter on parallel plan diverges: {text!r}"
+    assert multiset(prepare_plan(par_plan, fuzz_db).run()) == oracle, \
+        f"prepared parallel diverges: {text!r}"
+
+    # Forced parallel lowering of the naive plan, all three engines.
+    forced = force_parallel(naive_plan)
+    assert multiset(execute_plan_interpreted(forced, fuzz_db)) == oracle, \
+        f"interpreter/forced-parallel diverges: {text!r}"
+    assert multiset(execute_plan(forced, fuzz_db)) == oracle, \
+        f"compiled/forced-parallel diverges: {text!r}"
+    assert multiset(prepare_plan(forced, fuzz_db).run()) == oracle, \
+        f"prepared/forced-parallel diverges: {text!r}"
+    return sum(oracle.values())
+
+
+#: fixed seeds: each batch is deterministic, ~N_CASES//4 queries per batch
+BATCH_SEEDS = (11, 23, 47, 89)
+
+
+@pytest.mark.parametrize("seed", BATCH_SEEDS)
+def test_fuzz_differential_batch(seed, fuzz_db, sessions):
+    generator = QueryGenerator(random.Random(seed))
+    cases = max(N_CASES // len(BATCH_SEEDS), 1)
+    non_empty = 0
+    for _ in range(cases):
+        text, parameters = generator.generate()
+        if run_one(text, parameters, fuzz_db, sessions) > 0:
+            non_empty += 1
+    # the generator must not degenerate into only-empty results
+    assert non_empty >= cases // 10
+
+
+def test_generator_is_deterministic():
+    first = QueryGenerator(random.Random(7))
+    second = QueryGenerator(random.Random(7))
+    for _ in range(25):
+        assert first.generate() == second.generate()
+
+
+def test_parameters_reach_parallel_worker_threads(fuzz_db):
+    """Bind parameters are thread-local; the parallel operators must
+    propagate the caller's bindings into the morsel workers."""
+    from repro.vql.parser import parse_expression
+
+    plan = ParallelScan("p", "Paragraph",
+                        condition=parse_expression("p.number == :n"),
+                        degree=DEGREE)
+    executable = prepare_plan(plan, fuzz_db)
+    for n in (1, 2, 1, 5):
+        rows = executable.run({"n": n})
+        expected = [row for row in execute_plan_interpreted(
+                        ClassScan("p", "Paragraph"), fuzz_db)
+                    if fuzz_db.value(row["p"], "number") == n]
+        assert multiset(rows) == multiset(expected)
+
+    # unbound parameter surfaces as an error even from worker threads
+    from repro.errors import ExecutionError
+    with pytest.raises(ExecutionError):
+        executable.run()

@@ -391,3 +391,115 @@ def test_build_locks_do_not_accumulate():
     for n in range(5):
         service.execute(f"ACCESS p FROM p IN Paragraph WHERE p.number == {n}")
     assert not service._build_locks
+
+
+# ----------------------------------------------------------------------
+# concurrency stress: parallel plans under the plan cache
+# ----------------------------------------------------------------------
+METHOD_QUERY = "ACCESS p FROM p IN Paragraph WHERE p->contains_string(?)"
+
+
+def parallel_service(database, **kwargs) -> QueryService:
+    """A degree-4 service whose optimizer cannot rewrite the method away
+    (semantic rules excluded), so method-bearing shapes plan parallel."""
+    return QueryService(database,
+                        knowledge=document_knowledge(database.schema),
+                        exclude_tags=("semantic",), parallelism=4, **kwargs)
+
+
+def test_run_concurrent_clients_execute_parallel_plans():
+    from repro.physical.plans import uses_parallelism
+
+    database = fresh_database()
+    service = parallel_service(database)
+    requests = [(METHOD_QUERY, ["word0005"]),
+                (METHOD_QUERY, ["word0003"]),
+                (NUMBER_QUERY, [1])] * 8
+    results = service.run_concurrent(requests, workers=6)
+    # 3 shapes, 24 requests: everything after the cold misses must hit
+    snapshot = service.metrics.snapshot()
+    assert snapshot["queries"] == len(requests)
+    assert snapshot["cache_hits"] >= len(requests) - 3
+
+    assert uses_parallelism(
+        service.execute(METHOD_QUERY, ["word0005"]).plan.physical_plan)
+    reference = fresh_session(database)
+    for (query, parameters), result in zip(requests, results):
+        expected = reference.execute(query, parameters=parameters)
+        assert result.value_set() == expected.value_set()
+
+
+def test_plan_cache_invalidation_during_concurrent_parallel_execution():
+    database = fresh_database()
+    service = parallel_service(database)
+    requests = [(NUMBER_QUERY, [n % 4]) for n in range(12)]
+
+    service.run_concurrent(requests, workers=4)
+    # index DDL between batches strictly invalidates the cached plan …
+    service.create_hash_index("Paragraph", "number")
+    invalidations_before = service.cache.statistics.invalidations
+    results = service.run_concurrent(requests, workers=4)
+    assert service.cache.statistics.invalidations > invalidations_before
+
+    # … and the re-prepared plans still answer correctly.
+    reference = fresh_session(database)
+    for (query, parameters), result in zip(requests, results):
+        expected = reference.execute(query, parameters=parameters)
+        assert result.value_set() == expected.value_set()
+
+
+def test_index_ddl_races_parallel_query_execution():
+    """Writers (index DDL) must serialize against in-flight parallel
+    executions: every query sees either the indexed or the scanned plan,
+    never a plan whose index disappeared mid-run."""
+    import threading
+
+    database = fresh_database()
+    service = parallel_service(database)
+    expected = fresh_session(database).execute(
+        NUMBER_QUERY, parameters=[1]).value_set()
+    errors: list[Exception] = []
+    done = threading.Event()
+
+    def ddl_loop():
+        try:
+            for _ in range(25):
+                service.create_hash_index("Paragraph", "number")
+                service.drop_index("Paragraph", "number")
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=ddl_loop, daemon=True)
+    thread.start()
+    queries = 0
+    while not done.is_set() or queries < 20:
+        result = service.execute(NUMBER_QUERY, [1])
+        assert result.value_set() == expected
+        queries += 1
+        if queries > 2000:  # pragma: no cover - liveness guard
+            break
+    thread.join(timeout=20)
+    assert done.is_set() and not errors
+    assert queries >= 20
+
+
+def test_mixed_parallel_and_method_shapes_under_ddl_and_concurrency():
+    """The full stress: concurrent clients over parallel + sequential
+    shapes, with index DDL injected between batches; results stay equal to
+    a fresh sequential session throughout."""
+    database = fresh_database()
+    service = parallel_service(database)
+    requests = [(METHOD_QUERY, ["word0003"]), (NUMBER_QUERY, [2])] * 6
+
+    for round_number in range(3):
+        results = service.run_concurrent(requests, workers=5)
+        reference = fresh_session(database)
+        for (query, parameters), result in zip(requests, results):
+            expected = reference.execute(query, parameters=parameters)
+            assert result.value_set() == expected.value_set()
+        if round_number == 0:
+            service.create_sorted_index("Paragraph", "number")
+        elif round_number == 1:
+            service.drop_index("Paragraph", "number")
