@@ -1,30 +1,31 @@
-"""Quickstart: run the paper's motivating query on a synthetic document DB.
+"""Quickstart: the unified statement API on a synthetic document DB.
 
 Builds a small document database (the paper's Document/Section/Paragraph
 schema), registers the schema-specific semantic knowledge (equivalences
-E1-E5), and runs the motivating query
+E1-E5), opens a ``connect()`` connection and runs the motivating query
 
     ACCESS p FROM p IN Paragraph
     WHERE p->contains_string('Implementation')
     AND (p->document()).title == 'Query Optimization'
 
-first naively and then through the semantic optimizer, printing the chosen
-plan and the work both evaluations performed.
+through a streaming cursor, then exercises the write side of the language:
+``INSERT``/``UPDATE``/``DELETE`` and index DDL, all planned through the
+same optimizer as the reads.
 
 To see which access path the optimizer chose, read the ``physical plan:``
-section of ``session.explain(query)`` (printed below) — its leaf names the
-access path, e.g. ``expr_set_scan<...>`` for the paper's bulk-method plan
-PQ, or ``index_eq_scan<d, Document.title == '...'>`` when an equality
-filter is answered directly from a registered index.  Programmatically the
-same information is available from ``OptimizationResult.explain()`` or by
-walking ``result.optimization.best_plan`` (see DESIGN.md).
+section of ``connection.explain(statement)`` (printed below) — its leaf
+names the access path, e.g. ``expr_set_scan<...>`` for the paper's
+bulk-method plan PQ, or ``index_eq_scan<d, Document.title == '...'>`` when
+an equality filter is answered directly from a registered index.  The same
+works for mutations: ``explain`` of an ``UPDATE ... WHERE`` shows the plan
+of the derived WHERE-query (see DESIGN.md, "Statement API").
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import open_session
+from repro import connect, open_session
 from repro.workloads import (
     document_knowledge,
     generate_document_database,
@@ -42,43 +43,77 @@ def main() -> None:
     print(knowledge.describe())
     print()
 
-    session = open_session(database, knowledge=knowledge)
+    connection = connect(database, knowledge=knowledge)
     query = motivating_query().text
     print("query:")
     print(" ", query)
     print()
 
+    # The streaming cursor pulls rows lazily from the compiled plan.
+    cursor = connection.execute(query)
+    paragraphs = cursor.fetchall()
+    print(f"optimized evaluation: {len(paragraphs)} paragraphs "
+          f"(first: {paragraphs[0] if paragraphs else None})")
+
+    # The naive baseline (the paper's "straightforward evaluation") is
+    # still available through a session; compare the logical work.
+    session = open_session(database, knowledge=knowledge)
     naive = session.execute_naive(query)
-    print(f"naive evaluation: {len(naive)} paragraphs, "
-          f"{naive.work['external_method_calls']:.0f} external method calls, "
-          f"{naive.work['total_cost_units']:.1f} cost units")
-
     optimized = session.execute(query)
-    print(f"optimized evaluation: {len(optimized)} paragraphs, "
-          f"{optimized.work['external_method_calls']:.0f} external method calls, "
-          f"{optimized.work['total_cost_units']:.1f} cost units")
     assert naive.value_set() == optimized.value_set()
-
     speedup = naive.work["total_cost_units"] / max(
         optimized.work["total_cost_units"], 1e-9)
-    print(f"speedup: {speedup:.1f}x in logical work")
+    print(f"naive evaluation: {naive.work['total_cost_units']:.1f} cost "
+          f"units; optimized: {optimized.work['total_cost_units']:.1f} "
+          f"({speedup:.1f}x in logical work)")
     print()
 
     print("chosen physical plan (compare with the paper's plan PQ):")
-    print(session.explain(query))
+    print(connection.explain(query))
     print()
 
-    # Serving the same query shape repeatedly: the QueryService optimizes and
-    # compiles the parametrized shape once, then binds values per request.
-    from repro import open_service
-    service = open_service(database, knowledge=knowledge)
+    # ------------------------------------------------------------------
+    # the write side: DML + DDL through the same language
+    # ------------------------------------------------------------------
+    inserted = connection.execute(
+        "INSERT INTO Document (title, author) VALUES (:t, :a)",
+        {"t": "Statement API", "a": "quickstart"})
+    print(f"INSERT created {inserted.lastoid}")
+
+    # Batched inserts share one analyzed statement and one bulk
+    # maintenance pass (this is EXP-11's fast path).
+    cursor = connection.cursor()
+    cursor.executemany(
+        "INSERT INTO Document (title, author) VALUES (?, ?)",
+        [[f"bulk document {i}", "quickstart"] for i in range(100)])
+    print(f"executemany inserted {cursor.rowcount} documents")
+
+    # UPDATE ... WHERE is planned through the optimizer: with a hash index
+    # on Document.title the targets come from an index_eq_scan, not a scan.
+    connection.execute("CREATE INDEX ON Document(author)")
+    print()
+    print("explain of an indexed UPDATE (note the index_eq_scan leaf):")
+    print(connection.explain(
+        "UPDATE Document d SET author = 'renamed' WHERE d.author == 'quickstart'"))
+    updated = connection.execute(
+        "UPDATE Document d SET author = 'renamed' "
+        "WHERE d.author == 'quickstart'")
+    print(f"UPDATE touched {updated.rowcount} documents")
+
+    deleted = connection.execute(
+        "DELETE FROM Document d WHERE d.author == 'renamed'")
+    print(f"DELETE removed {deleted.rowcount} documents")
+    print()
+
+    # Serving the same query shape repeatedly: the connection's service
+    # optimizes and compiles the parametrized shape once, then binds
+    # values per request.
     parametrized = ("ACCESS p FROM p IN Paragraph "
                     "WHERE p->contains_string(:term) AND "
                     "(p->document()).title == :title")
-    first = service.execute(parametrized, {"term": "Implementation",
-                                           "title": "Query Optimization"})
-    second = service.execute(parametrized, {"term": "Implementation",
-                                            "title": "Query Optimization"})
+    bindings = {"term": "Implementation", "title": "Query Optimization"}
+    first = connection.service.execute(parametrized, bindings)
+    second = connection.service.execute(parametrized, bindings)
     print("prepared service: first call "
           f"({'hit' if first.metrics.cache_hit else 'miss'}) "
           f"{first.metrics.total_seconds * 1000:.1f}ms, second call "

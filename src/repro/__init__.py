@@ -13,32 +13,39 @@ The package provides:
 * ready-made workloads reproducing the paper's example schema
   (:mod:`repro.workloads`).
 
-Quickstart::
+Quickstart (the unified statement API)::
 
-    from repro import open_session
+    from repro import connect
     from repro.workloads import (
         generate_document_database, document_knowledge, motivating_query)
 
     db = generate_document_database(n_documents=100)
-    session = open_session(db, knowledge=document_knowledge(db.schema))
-    result = session.execute(motivating_query().text)
-    print(result.values)
+    connection = connect(db, knowledge=document_knowledge(db.schema))
+    for paragraph in connection.execute(motivating_query().text):
+        print(paragraph)
+    connection.execute("INSERT INTO Document (title) VALUES (?)", ["new"])
 """
 
 from repro.engine import open_service, open_session, run_query
 from repro.errors import ReproError
 from repro.service.service import QueryService
 from repro.session import QueryResult, Session
+from repro.api.connection import Connection, Cursor, connect
+from repro.api.router import StatementResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "connect",
+    "Connection",
+    "Cursor",
     "open_session",
     "open_service",
     "run_query",
     "Session",
     "QueryService",
     "QueryResult",
+    "StatementResult",
     "ReproError",
     "__version__",
 ]

@@ -1,0 +1,332 @@
+"""PEP-249-flavored facade over the query stack.
+
+:func:`connect` opens a :class:`Connection` on a database; cursors execute
+any statement of the unified language — queries, ``INSERT``/``UPDATE``/
+``DELETE`` and index/class DDL — against one shared
+:class:`~repro.service.service.QueryService`, so every query (and every
+mutation's WHERE clause) is planned once per shape and served from the
+plan cache.
+
+Deviations from a literal PEP 249 (the substrate is an embedded in-memory
+OODB, not a client/server SQL engine):
+
+* rows produced by a cursor are the query's *output values* (the ACCESS
+  expression per result row) rather than 1-tuples; since ``None`` is then
+  a possible row value, ``Cursor.exhausted`` (or plain iteration) is the
+  unambiguous end-of-results signal, not ``fetchone() is None``;
+* ``Connection.commit`` is a **batch flush**: with ``autocommit=True``
+  (the default) mutations apply immediately and ``commit()`` is a no-op;
+  with ``autocommit=False`` DML is buffered and ``commit()`` applies the
+  whole batch in one pass, collapsing runs of the same INSERT shape into
+  bulk :meth:`~repro.datamodel.database.Database.create_many` loads
+  (``rollback()`` discards the buffer).  There is no isolation: reads
+  always see the applied state;
+* cursors stream: ``fetchone``/``fetchmany``/``fetchall``/iteration pull
+  rows lazily from the prepared plan's generator tree instead of a
+  materialized row list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.api.router import StatementResult
+from repro.errors import ServiceError
+from repro.datamodel.database import Database
+from repro.optimizer.knowledge import SchemaKnowledge
+from repro.optimizer.search import OptimizerOptions
+from repro.service.service import QueryService, RowStream
+from repro.vql.analyzer import AnalyzedStatement
+from repro.vql.bindings import ParameterValues
+
+__all__ = ["connect", "Connection", "Cursor"]
+
+
+def connect(database: Database,
+            knowledge: Optional[SchemaKnowledge] = None,
+            options: Optional[OptimizerOptions] = None,
+            exclude_tags: Sequence[str] = (),
+            parallelism: Optional[int] = None,
+            autocommit: bool = True,
+            service: Optional[QueryService] = None) -> "Connection":
+    """Open a statement-API connection on *database*.
+
+    ``knowledge``/``options``/``exclude_tags``/``parallelism`` configure
+    the underlying :class:`QueryService` (ignored when an existing
+    *service* is supplied); ``autocommit=False`` buffers DML until
+    :meth:`Connection.commit`.
+    """
+    if service is None:
+        service = QueryService(database, knowledge=knowledge, options=options,
+                               exclude_tags=exclude_tags,
+                               parallelism=parallelism)
+    return Connection(service, autocommit=autocommit)
+
+
+class Connection:
+    """A connection: one query service plus cursor and batching state."""
+
+    def __init__(self, service: QueryService, autocommit: bool = True):
+        self.service = service
+        self.database = service.database
+        self.router = service.router
+        self.autocommit = autocommit
+        self._pending: list[tuple[AnalyzedStatement, list[ParameterValues]]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # cursors & convenience execution (sqlite3-style)
+    # ------------------------------------------------------------------
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, operation: str,
+                parameters: ParameterValues = None) -> "Cursor":
+        """Shorthand: ``connection.cursor().execute(...)``."""
+        return self.cursor().execute(operation, parameters)
+
+    def executemany(self, operation: str,
+                    parameter_sets: Iterable[ParameterValues]) -> "Cursor":
+        """Shorthand: ``connection.cursor().executemany(...)``."""
+        return self.cursor().executemany(operation, parameter_sets)
+
+    def explain(self, operation: str, optimize: bool = True) -> str:
+        """Describe how *operation* would be evaluated (for UPDATE/DELETE:
+        the optimizer's plan for the WHERE clause)."""
+        self._check_open()
+        return self.router.explain(operation, optimize=optimize)
+
+    # ------------------------------------------------------------------
+    # batch flush (commit-style)
+    # ------------------------------------------------------------------
+    def commit(self) -> int:
+        """Apply every buffered mutation; returns the affected row count.
+
+        Consecutive buffered executions of the same INSERT shape were
+        already coalesced at buffering time, so a deferred ``executemany``
+        (or a loop of single INSERTs) flushes as one bulk load.
+
+        Entries are removed from the buffer as they apply: if a statement
+        fails mid-flush, the failing entry and everything after it stay
+        buffered (fix the bindings and ``commit()`` again, or
+        ``rollback()``) — already-applied entries are not undone.
+        """
+        self._check_open()
+        total = 0
+        while self._pending:
+            analyzed, parameter_sets = self._pending[0]
+            if len(parameter_sets) == 1 and analyzed.kind != "insert":
+                result = self.router.execute(analyzed, parameter_sets[0])
+            else:
+                result = self.router.executemany(analyzed, parameter_sets)
+            total += result.rowcount
+            self._pending.pop(0)
+        return total
+
+    def rollback(self) -> int:
+        """Discard every buffered mutation; returns the discarded count."""
+        self._check_open()
+        discarded = sum(len(sets) for _, sets in self._pending)
+        self._pending.clear()
+        return discarded
+
+    @property
+    def in_transaction(self) -> bool:
+        """True when mutations are buffered awaiting :meth:`commit`."""
+        return bool(self._pending)
+
+    def _defer(self, analyzed: AnalyzedStatement,
+               parameter_sets: list[ParameterValues]) -> None:
+        if not parameter_sets:
+            return  # an empty executemany batch is a no-op, don't buffer it
+        if self._pending and self._pending[-1][0] is analyzed \
+                and analyzed.kind == "insert":
+            self._pending[-1][1].extend(parameter_sets)
+        else:
+            self._pending.append((analyzed, parameter_sets))
+
+    # ------------------------------------------------------------------
+    # index DDL convenience (shared datamodel.ddl helper, service-gated)
+    # ------------------------------------------------------------------
+    def create_index(self, class_name: str, prop: str, kind: str = "hash"):
+        """Create a ``hash``/``sorted``/``text`` index (write-gated)."""
+        self._check_open()
+        return self.service.create_index(class_name, prop, kind=kind)
+
+    def drop_index(self, class_name: str, prop: str,
+                   text: bool = False) -> None:
+        """Drop the (text) index on ``class_name.prop`` (write-gated)."""
+        self._check_open()
+        self.service.drop_index(class_name, prop, text=text)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection; buffered mutations are discarded."""
+        self._pending.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        self.close()
+
+    def __str__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection({self.database}, {state})"
+
+
+class Cursor:
+    """A streaming cursor (PEP-249 shape) over one connection.
+
+    Query results are pulled lazily from the service's
+    :class:`~repro.service.service.RowStream` — ``fetchone`` advances the
+    prepared plan's generator tree by one row.  ``description`` carries the
+    single output column (the query's output reference); ``rowcount`` is
+    the affected-row count for DML and -1 for queries (streaming results
+    have no known cardinality up front, as PEP 249 permits).
+    """
+
+    #: default ``fetchmany`` size
+    arraysize = 64
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.arraysize = type(self).arraysize
+        self.description: Optional[tuple] = None
+        self.rowcount: int = -1
+        self.lastoid = None
+        self._stream: Optional[RowStream] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, operation: str,
+                parameters: ParameterValues = None) -> "Cursor":
+        """Execute one statement; returns the cursor (chainable)."""
+        self._check_open()
+        self._reset()
+        connection = self.connection
+        analyzed = connection.router.analyze(operation)
+        if analyzed.is_query:
+            self._stream = connection.service.stream_analyzed(
+                analyzed.query, parameters)
+            self.description = ((self._stream.output_ref,
+                                 None, None, None, None, None, None),)
+            return self
+        if analyzed.is_mutation and not connection.autocommit:
+            connection._defer(analyzed, [parameters])
+            return self
+        self._finish(connection.router.execute(analyzed, parameters))
+        return self
+
+    def executemany(self, operation: str,
+                    parameter_sets: Iterable[ParameterValues]) -> "Cursor":
+        """Execute a DML statement once per parameter set (bulk INSERT
+        collapses into one ``create_many`` maintenance pass)."""
+        self._check_open()
+        self._reset()
+        connection = self.connection
+        analyzed = connection.router.analyze(operation)
+        if not analyzed.is_mutation:
+            raise ServiceError(
+                f"executemany supports INSERT/UPDATE/DELETE, not "
+                f"{analyzed.kind.upper()} statements")
+        sets = list(parameter_sets)
+        if not connection.autocommit:
+            connection._defer(analyzed, sets)
+            return self
+        self._finish(connection.router.executemany(analyzed, sets))
+        return self
+
+    def _finish(self, result: StatementResult) -> None:
+        self.rowcount = result.rowcount
+        self.lastoid = result.lastoid
+
+    def _reset(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+        self._stream = None
+        self.description = None
+        self.rowcount = -1
+        self.lastoid = None
+
+    # ------------------------------------------------------------------
+    # fetching (streaming)
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once the current result set has no further rows.
+
+        This is the unambiguous end-of-results signal: because cursor rows
+        are bare output values (not PEP 249's 1-tuples), a query can
+        legitimately yield ``None`` values, which :meth:`fetchone` cannot
+        distinguish from exhaustion.  Iterate the cursor, or test this
+        property, when ``None`` is a possible output value.
+        """
+        return self._stream is not None and self._stream.exhausted
+
+    def fetchone(self) -> Any:
+        """The next output value, or None when the result set is exhausted.
+
+        Caveat: ``None`` is also returned for a row whose output value *is*
+        None — check :attr:`exhausted` (or iterate the cursor, whose
+        ``StopIteration`` is unambiguous) when that matters.
+        """
+        rows = self._feed().fetch(1)
+        return self._value(rows[0]) if rows else None
+
+    def fetchmany(self, size: Optional[int] = None) -> list[Any]:
+        """Up to *size* (default :attr:`arraysize`) further output values."""
+        rows = self._feed().fetch(self.arraysize if size is None else size)
+        return [self._value(row) for row in rows]
+
+    def fetchall(self) -> list[Any]:
+        """Every remaining output value."""
+        return [self._value(row) for row in self._feed().drain()]
+
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> Any:
+        rows = self._feed().fetch(1)
+        if not rows:
+            raise StopIteration
+        return self._value(rows[0])
+
+    def _value(self, row: dict) -> Any:
+        return row.get(self._stream.output_ref)
+
+    def _feed(self) -> RowStream:
+        self._check_open()
+        if self._stream is None:
+            raise ServiceError("no result set: execute a query first")
+        return self._stream
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._reset()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("cursor is closed")
+        self.connection._check_open()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

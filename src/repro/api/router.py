@@ -1,0 +1,342 @@
+"""The statement router: one dispatch path for queries, DML and DDL.
+
+Every public entry point of the library — ``Session.execute``,
+``QueryService.execute``, ``run_query`` and the PEP-249-flavored
+``Connection``/``Cursor`` facade — parses statements here and shares one
+classification + mutation code path.  What differs between the owners is
+only *how queries run*: the router delegates query execution to a
+``run_query`` callback, which the service wires to its plan cache and the
+session wires to its per-call pipeline.
+
+Mutations reuse the query machinery instead of hand-rolled scans:
+
+* ``UPDATE``/``DELETE`` WHERE clauses are analyzed into an ordinary
+  *WHERE-query* (``ACCESS alias FROM alias IN Class WHERE cond``) and
+  executed through the same ``run_query`` callback — so mutation
+  predicates are planned by the full optimizer (picking up
+  ``IndexEqScan``/``IndexRangeScan`` and bind parameters), and a service-
+  backed router reuses one cached plan across an ``executemany`` batch;
+* ``INSERT`` values compile to per-binding getters (constants and bind
+  parameters short-circuit), with ``executemany`` feeding
+  :meth:`repro.datamodel.database.Database.create_many` in one bulk
+  maintenance pass;
+* DDL and every mutation's *apply* phase run under the owner's write guard
+  (the service's writer-preferring gate), so in-flight readers drain before
+  state changes; plan-cache invalidation rides on the datamodel's version
+  clock — schema bumps for ``CREATE CLASS``, index bumps for index DDL,
+  data drift for DML.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
+
+from repro.algebra.expressions import Const, Expression, Parameter, bind_parameters
+from repro.datamodel import ddl
+from repro.datamodel.database import Database
+from repro.datamodel.oid import OID
+from repro.errors import ServiceError
+from repro.physical.evaluator import evaluate
+from repro.vql.analyzer import AnalyzedQuery, AnalyzedStatement, analyze_statement
+from repro.vql.ast import Statement
+from repro.vql.bindings import ParameterValues, resolve_bindings
+from repro.vql.parser import parse_statement
+
+__all__ = ["StatementResult", "StatementRouter", "QueryRunner"]
+
+#: how owners execute queries: (analyzed query, parameters, optimize) -> result
+#: with ``rows`` (list of Row) and ``output_ref`` attributes
+QueryRunner = Callable[[AnalyzedQuery, ParameterValues, bool], Any]
+
+StatementInput = Union[str, Statement, AnalyzedStatement]
+
+
+@dataclass
+class StatementResult:
+    """The outcome of a DDL or DML statement.
+
+    Mirrors the query results' ``rows``/``__len__`` surface so callers can
+    treat every statement execution uniformly; ``rowcount`` counts created,
+    updated or deleted objects (0 for DDL).
+    """
+
+    kind: str
+    rowcount: int = 0
+    oids: tuple[OID, ...] = ()
+    description: str = ""
+
+    @property
+    def rows(self) -> list:
+        return []
+
+    @property
+    def lastoid(self) -> Optional[OID]:
+        """The last OID touched (PEP 249's ``lastrowid`` analogue)."""
+        return self.oids[-1] if self.oids else None
+
+    def __len__(self) -> int:
+        return self.rowcount
+
+
+class StatementRouter:
+    """Parses, analyzes and dispatches statements for one database."""
+
+    def __init__(self, database: Database,
+                 run_query: QueryRunner,
+                 explain_query: Optional[Callable[[AnalyzedQuery, bool], str]]
+                 = None,
+                 write_guard: Optional[Callable[[], Any]] = None,
+                 statement_cache_size: int = 256):
+        self.database = database
+        self._run_query = run_query
+        self._explain_query = explain_query
+        self._write_guard = write_guard or nullcontext
+        # text -> (schema version, analyzed statement): re-analyzed after
+        # schema DDL, bounded so ad-hoc texts cannot grow it forever
+        self._statements: "OrderedDict[str, tuple[int, AnalyzedStatement]]" = (
+            OrderedDict())
+        self._statements_capacity = statement_cache_size
+        self._statements_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # statement resolution
+    # ------------------------------------------------------------------
+    @property
+    def cached_statements(self) -> int:
+        """Number of analyzed statements currently cached by text."""
+        with self._statements_lock:
+            return len(self._statements)
+
+    def analyze(self, statement: StatementInput) -> AnalyzedStatement:
+        """Resolve *statement* (text, AST or already analyzed) once."""
+        if isinstance(statement, AnalyzedStatement):
+            return statement
+        if isinstance(statement, Statement):
+            return analyze_statement(statement, self.database.schema)
+        schema_version = self.database.versions.schema
+        with self._statements_lock:
+            entry = self._statements.get(statement)
+            if entry is not None and entry[0] == schema_version:
+                self._statements.move_to_end(statement)
+                return entry[1]
+        analyzed = analyze_statement(parse_statement(statement),
+                                     self.database.schema)
+        with self._statements_lock:
+            self._statements[statement] = (schema_version, analyzed)
+            self._statements.move_to_end(statement)
+            while len(self._statements) > self._statements_capacity:
+                self._statements.popitem(last=False)
+        return analyzed
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def execute(self, statement: StatementInput,
+                parameters: ParameterValues = None,
+                optimize: bool = True) -> Any:
+        """Execute one statement.
+
+        Queries return whatever the owner's query runner returns
+        (:class:`~repro.session.QueryResult` /
+        :class:`~repro.service.service.ServiceResult`); DDL and DML return
+        a :class:`StatementResult`.
+        """
+        analyzed = self.analyze(statement)
+        kind = analyzed.kind
+        if kind == "select":
+            return self._run_query(analyzed.query, parameters, optimize)
+        if kind == "insert":
+            return self._insert(analyzed, [parameters])
+        if kind == "update":
+            return self._update(analyzed, parameters, optimize)
+        if kind == "delete":
+            return self._delete(analyzed, parameters, optimize)
+        return self._ddl(analyzed, parameters)
+
+    def executemany(self, statement: StatementInput,
+                    parameter_sets: Iterable[ParameterValues],
+                    optimize: bool = True) -> StatementResult:
+        """Execute one DML statement once per parameter set.
+
+        INSERT batches collapse into a single bulk
+        :meth:`~repro.datamodel.database.Database.create_many` call;
+        UPDATE/DELETE reuse the statement's analyzed shape (and, under a
+        service-backed router, one cached WHERE plan) across the batch.
+        """
+        analyzed = self.analyze(statement)
+        sets = list(parameter_sets)
+        if analyzed.kind == "insert":
+            return self._insert(analyzed, sets)
+        if analyzed.kind in ("update", "delete"):
+            runner = (self._update if analyzed.kind == "update"
+                      else self._delete)
+            total = 0
+            touched: list[OID] = []
+            for parameters in sets:
+                result = runner(analyzed, parameters, optimize)
+                total += result.rowcount
+                touched.extend(result.oids)
+            return StatementResult(kind=analyzed.kind, rowcount=total,
+                                   oids=tuple(touched))
+        raise ServiceError(
+            f"executemany supports INSERT/UPDATE/DELETE, not "
+            f"{analyzed.kind.upper()} statements")
+
+    def explain(self, statement: StatementInput, optimize: bool = True) -> str:
+        """Describe how *statement* would be evaluated.
+
+        For UPDATE/DELETE the derived WHERE-query's plan is shown — this is
+        where an indexed mutation predicate surfaces its
+        ``index_eq_scan``/``index_range_scan`` access path.
+        """
+        analyzed = self.analyze(statement)
+        if analyzed.kind == "select":
+            return self._explain(analyzed.query, optimize)
+        if analyzed.kind in ("update", "delete"):
+            header = (f"{analyzed.kind.upper()} {analyzed.class_name}: "
+                      "WHERE clause planned as a query")
+            return header + "\n" + self._explain(analyzed.query, optimize)
+        return str(analyzed.statement)
+
+    def _explain(self, query: AnalyzedQuery, optimize: bool) -> str:
+        if self._explain_query is None:
+            raise ServiceError("this router has no query explainer")
+        return self._explain_query(query, optimize)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _insert(self, analyzed: AnalyzedStatement,
+                parameter_sets: list[ParameterValues]) -> StatementResult:
+        getters = analyzed.cache.get("insert_getters")
+        if getters is None:
+            getters = [(prop, self._value_getter(expr))
+                       for prop, expr in analyzed.assignments]
+            analyzed.cache["insert_getters"] = getters
+        rows = []
+        for parameters in parameter_sets:
+            bindings = resolve_bindings(analyzed.parameters, parameters)
+            rows.append({prop: getter(bindings) for prop, getter in getters})
+        class_name = analyzed.class_name
+        with self._write_guard():
+            if len(rows) == 1:
+                created = [self.database.create(class_name, **rows[0])]
+            else:
+                created = self.database.create_many(class_name, rows)
+        return StatementResult(kind="insert", rowcount=len(created),
+                               oids=tuple(created))
+
+    def _update(self, analyzed: AnalyzedStatement,
+                parameters: ParameterValues,
+                optimize: bool) -> StatementResult:
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        targets = self._matching_oids(analyzed, bindings, optimize)
+        getters = analyzed.cache.get("update_getters")
+        if getters is None:
+            getters = [(prop, self._value_getter(expr, row_expr=True))
+                       for prop, expr in analyzed.assignments]
+            analyzed.cache["update_getters"] = getters
+        alias = analyzed.alias
+        # The WHERE-query above ran under the owner's read discipline; the
+        # apply phase takes the write guard so concurrent readers never
+        # observe a half-maintained object.  Targets may drift between the
+        # two phases (no long transactions): objects deleted in the gap are
+        # skipped, not crashed on.
+        applied: list[OID] = []
+        with self._write_guard():
+            for oid in targets:
+                if not self.database.exists(oid):
+                    continue
+                row = {alias: oid}
+                values = {prop: getter(bindings, row)
+                          for prop, getter in getters}
+                self.database.update(oid, **values)
+                applied.append(oid)
+        return StatementResult(kind="update", rowcount=len(applied),
+                               oids=tuple(applied))
+
+    def _delete(self, analyzed: AnalyzedStatement,
+                parameters: ParameterValues,
+                optimize: bool) -> StatementResult:
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        targets = self._matching_oids(analyzed, bindings, optimize)
+        applied: list[OID] = []
+        with self._write_guard():
+            for oid in targets:
+                if not self.database.exists(oid):
+                    continue  # deleted since the WHERE-query ran
+                self.database.delete(oid)
+                applied.append(oid)
+        return StatementResult(kind="delete", rowcount=len(applied),
+                               oids=tuple(applied))
+
+    def _matching_oids(self, analyzed: AnalyzedStatement,
+                       bindings: Mapping[str, Any],
+                       optimize: bool) -> list[OID]:
+        """Run the mutation's WHERE-query and return the distinct targets."""
+        where = analyzed.query
+        sub_parameters = ({key: bindings[key] for key in where.parameters}
+                          or None)
+        result = self._run_query(where, sub_parameters, optimize)
+        ref = result.output_ref
+        return list(dict.fromkeys(row[ref] for row in result.rows))
+
+    def _value_getter(self, expression: Expression, row_expr: bool = False):
+        """Compile one DML value expression into a fast getter.
+
+        Constants and bind parameters (the overwhelmingly common case,
+        and the whole of every ``executemany`` INSERT batch) short-circuit
+        to direct lookups; anything else — e.g. ``SET number = p.number + 1``
+        — substitutes the bindings and evaluates against the database.
+        """
+        if isinstance(expression, Const):
+            value = expression.value
+
+            def constant(bindings, row=None, value=value):
+                return value
+            return constant
+        if isinstance(expression, Parameter):
+            key = expression.key
+
+            def bound(bindings, row=None, key=key):
+                return bindings[key]
+            return bound
+        database = self.database
+
+        if row_expr:
+            def general(bindings, row, expression=expression):
+                return evaluate(bind_parameters(expression, bindings),
+                                row, database)
+            return general
+
+        def general_const(bindings, row=None, expression=expression):
+            return evaluate(bind_parameters(expression, bindings),
+                            {}, database)
+        return general_const
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _ddl(self, analyzed: AnalyzedStatement,
+             parameters: ParameterValues) -> StatementResult:
+        resolve_bindings((), parameters)  # DDL takes no bind parameters
+        statement = analyzed.statement
+        with self._write_guard():
+            if analyzed.kind == "create_class":
+                self.database.create_class(
+                    statement.class_name, superclass=statement.superclass,
+                    properties=analyzed.property_defs)
+            elif analyzed.kind == "create_index":
+                ddl.create_index(self.database, statement.kind,
+                                 statement.class_name, statement.prop)
+            elif analyzed.kind == "drop_index":
+                ddl.drop_index(self.database, statement.class_name,
+                               statement.prop,
+                               text=statement.kind == "text")
+            else:  # pragma: no cover - analyze_statement covers every kind
+                raise ServiceError(f"unroutable statement {analyzed.kind!r}")
+        return StatementResult(kind=analyzed.kind, description=str(statement))

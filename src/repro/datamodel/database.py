@@ -21,7 +21,13 @@ from repro.datamodel.partitions import (
     ExtensionPartitions,
     PartitionStatistics,
 )
-from repro.datamodel.schema import MethodDef, MethodKind, Schema
+from repro.datamodel.schema import (
+    ClassDef,
+    MethodDef,
+    MethodKind,
+    PropertyDef,
+    Schema,
+)
 from repro.datamodel.statistics import DatabaseStatistics
 from repro.errors import (
     MethodInvocationError,
@@ -153,6 +159,92 @@ class Database:
                 if engine is not None:
                     engine.index_text(oid, str(value))
 
+    def create_many(self, class_name: str,
+                    rows: Iterable[dict[str, Any]]) -> list[OID]:
+        """Bulk create: one maintenance pass for a whole batch of objects.
+
+        Semantically equivalent to calling :meth:`create` per row, but the
+        schema lookups, type validators, ancestor chain and index/text-index
+        targets are resolved once for the batch instead of once per object —
+        this is the fast path behind the statement API's ``executemany``
+        INSERT.  Every row is validated before any object is created, so a
+        *type* error in row *k* leaves the database untouched
+        (index-maintenance errors surface mid-batch with the same partial
+        effect they have in :meth:`create`).  The data version advances by
+        the number of created objects (same plan-cache drift as individual
+        creates).
+        """
+        self.schema.get_class(class_name)  # existence check
+        materialized = [dict(row) for row in rows]
+
+        prop_defs: dict[str, Any] = {}
+
+        def prop_def_for(prop: str):
+            prop_def = prop_defs.get(prop)
+            if prop_def is None:
+                if not self.schema.has_property(class_name, prop):
+                    raise SchemaError(
+                        f"class {class_name!r} has no property {prop!r}")
+                prop_def = self.schema.resolve_property(class_name, prop)
+                prop_defs[prop] = prop_def
+            return prop_def
+
+        for row in materialized:
+            for prop, value in row.items():
+                prop_def = prop_def_for(prop)
+                if value is not None and not prop_def.vml_type.validate(value):
+                    raise TypeMismatchError(
+                        f"value {value!r} for {class_name}.{prop} does not "
+                        f"conform to {prop_def.vml_type}")
+
+        owners = list(self._class_and_ancestors(class_name))
+        maintenance: dict[str, tuple[list, list]] = {}
+
+        def targets_for(prop: str) -> tuple[list, list]:
+            targets = maintenance.get(prop)
+            if targets is None:
+                indexes = [index for owner in owners
+                           if (index := self.indexes.get(owner, prop))
+                           is not None]
+                engines = [engine for owner in owners
+                           if (engine := self._text_indexes.get((owner, prop)))
+                           is not None]
+                targets = (indexes, engines)
+                maintenance[prop] = targets
+            return targets
+
+        objects = self._objects
+        extension = self._extensions[class_name]
+        partitioned = self.partitions.for_class(class_name)
+        allocate = self._allocator.allocate
+        created: list[OID] = []
+        # Statistics and the data-version tick are settled in the finally
+        # block so that an index-maintenance error mid-batch (possible on
+        # ANY-typed properties with uncomparable keys, exactly as in
+        # :meth:`create`) still counts every object that landed — cached
+        # plans must see the drift.
+        try:
+            for row in materialized:
+                oid = allocate(class_name)
+                objects[oid] = DatabaseObject(oid=oid, values=row)
+                extension.append(oid)
+                partitioned.add(oid)
+                created.append(oid)
+                for prop, value in row.items():
+                    if value is None:
+                        continue
+                    indexes, engines = targets_for(prop)
+                    for index in indexes:
+                        index.insert(value, oid)
+                    if engines:
+                        text = str(value)
+                        for engine in engines:
+                            engine.index_text(oid, text)
+        finally:
+            self.statistics.objects_created += len(created)
+            self.versions.data += len(created)
+        return created
+
     def _class_and_ancestors(self, class_name: str) -> Iterable[str]:
         current: Optional[str] = class_name
         while current is not None:
@@ -212,34 +304,52 @@ class Database:
         return obj.get_or_none(prop)
 
     def set_value(self, oid: OID, prop: str, value: Any) -> None:
-        """Write a property value, keeping indexes consistent."""
+        """Write one property value, keeping indexes consistent."""
+        self.update(oid, **{prop: value})
+
+    def update(self, oid: OID, **values: Any) -> None:
+        """Write several property values in one maintenance pass.
+
+        All values are validated up front (no partial write on a type
+        error); the object's partition write counter and the data version
+        tick once per call, not once per property, so a multi-column
+        ``UPDATE ... SET`` costs one plan-cache drift unit.  Index and text
+        index maintenance matches :meth:`set_value` per property.
+        """
+        if not values:
+            return
         obj = self.get(oid)
-        prop_def = self.schema.resolve_property(obj.class_name, prop)
-        if value is not None and not prop_def.vml_type.validate(value):
-            raise TypeMismatchError(
-                f"value {value!r} for {obj.class_name}.{prop} does not "
-                f"conform to {prop_def.vml_type}")
-        old = obj.get_or_none(prop)
-        had = obj.has(prop)
-        obj.set(prop, value)
-        self.statistics.record_property_write()
-        self.partitions.record_write(obj.class_name, oid)
+        class_name = obj.class_name
+        for prop, value in values.items():
+            prop_def = self.schema.resolve_property(class_name, prop)
+            if value is not None and not prop_def.vml_type.validate(value):
+                raise TypeMismatchError(
+                    f"value {value!r} for {class_name}.{prop} does not "
+                    f"conform to {prop_def.vml_type}")
+        previous = {prop: (obj.has(prop), obj.get_or_none(prop))
+                    for prop in values}
+        for prop, value in values.items():
+            obj.set(prop, value)
+            self.statistics.record_property_write()
+        self.partitions.record_write(class_name, oid)
         self.versions.data += 1
-        for owner in self._class_and_ancestors(obj.class_name):
-            index = self.indexes.get(owner, prop)
-            if index is not None:
-                # None values are never indexed (see _index_new_object), so
-                # transitions to/from None become plain removes/inserts.
-                if had and old is not None:
-                    if value is not None:
-                        index.update(old, value, oid)
-                    else:
-                        index.remove(old, oid)
-                elif value is not None:
-                    index.insert(value, oid)
-            engine = self._text_indexes.get((owner, prop))
-            if engine is not None:
-                engine.index_text(oid, str(value))
+        for owner in self._class_and_ancestors(class_name):
+            for prop, value in values.items():
+                index = self.indexes.get(owner, prop)
+                if index is not None:
+                    # None values are never indexed (see _index_new_object),
+                    # so transitions to/from None are plain removes/inserts.
+                    had, old = previous[prop]
+                    if had and old is not None:
+                        if value is not None:
+                            index.update(old, value, oid)
+                        else:
+                            index.remove(old, oid)
+                    elif value is not None:
+                        index.insert(value, oid)
+                engine = self._text_indexes.get((owner, prop))
+                if engine is not None:
+                    engine.index_text(oid, str(value))
 
     # ------------------------------------------------------------------
     # extensions
@@ -432,6 +542,37 @@ class Database:
             return obj.get_or_none(prop)
 
         return read
+
+    # ------------------------------------------------------------------
+    # schema DDL
+    # ------------------------------------------------------------------
+    def create_class(self, name: str, superclass: Optional[str] = None,
+                     properties: Iterable[PropertyDef] = ()) -> ClassDef:
+        """Register a new class (the ``CREATE CLASS`` DDL entry point).
+
+        References are validated *before* the schema is touched so a bad
+        statement cannot leave a half-registered class behind; the schema
+        version bump evicts every cached plan (new classes change the plan
+        space for deep-extension scans of their superclasses).
+        """
+        properties = list(properties)
+        if self.schema.has_class(name):
+            raise SchemaError(f"duplicate class {name!r}")
+        if superclass is not None and not self.schema.has_class(superclass):
+            raise SchemaError(
+                f"class {name!r} inherits from unknown class {superclass!r}")
+        for prop in properties:
+            if prop.target_class is not None and prop.target_class != name \
+                    and not self.schema.has_class(prop.target_class):
+                raise SchemaError(
+                    f"property {name}.{prop.name} refers to unknown class "
+                    f"{prop.target_class!r}")
+        class_def = ClassDef(name=name, superclass=superclass)
+        for prop in properties:
+            class_def.add_property(prop)
+        self.schema.add_class(class_def)
+        self.bump_schema_version()
+        return class_def
 
     # ------------------------------------------------------------------
     # indexes

@@ -1,0 +1,45 @@
+"""Shared index-DDL dispatch.
+
+Index DDL used to be spelled out as five near-identical pass-through
+methods on every layer that exposes it (``Database``, ``QueryService``, the
+statement API's ``Connection``).  This module is the single place that maps
+an index *kind* to the database primitive, so the layers above reduce to
+one generic ``create_index``/``drop_index`` pair each (the legacy
+per-kind method names survive as thin aliases).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datamodel.database import Database
+
+__all__ = ["INDEX_KINDS", "create_index", "drop_index"]
+
+#: index kinds understood by ``CREATE [HASH|SORTED|TEXT] INDEX``
+INDEX_KINDS = ("hash", "sorted", "text")
+
+
+def create_index(database: "Database", kind: str, class_name: str,
+                 prop: str) -> Any:
+    """Create an index of *kind* on ``class_name.prop`` and backfill it."""
+    if kind == "hash":
+        return database.create_hash_index(class_name, prop)
+    if kind == "sorted":
+        return database.create_sorted_index(class_name, prop)
+    if kind == "text":
+        return database.create_text_index(class_name, prop)
+    raise SchemaError(
+        f"unknown index kind {kind!r} (expected one of {INDEX_KINDS})")
+
+
+def drop_index(database: "Database", class_name: str, prop: str,
+               text: bool = False) -> None:
+    """Drop the (text) index on ``class_name.prop``."""
+    if text:
+        database.drop_text_index(class_name, prop)
+    else:
+        database.drop_index(class_name, prop)

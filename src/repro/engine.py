@@ -85,14 +85,29 @@ def _service_for(database: Database,
 def run_query(database: Database, query: str,
               knowledge: Optional[SchemaKnowledge] = None,
               optimize: bool = True,
-              parameters: ParameterValues = None) -> QueryResult:
+              parameters: ParameterValues = None):
     """One-shot helper: run *query* through the cached service for
     *database* (optimizer generation, statement analysis and plan
-    optimization are all paid once per database / query shape)."""
+    optimization are all paid once per database / query shape).
+
+    *query* may be any statement of the unified language; DDL/DML return
+    the router's :class:`~repro.api.router.StatementResult` instead of a
+    :class:`~repro.session.QueryResult`.
+
+    .. deprecated:: 1.2
+        The keyword signature (``knowledge=``/``optimize=``/
+        ``parameters=`` re-supplied on every call) is superseded by the
+        statement API: open a :func:`repro.connect` connection once and use
+        ``Connection.execute`` — the connection owns the knowledge and
+        plan cache, so per-call configuration cannot drift.  ``run_query``
+        is retained as a compatibility wrapper over the same router.
+    """
     service = _service_for(database, knowledge)
     # The caller may have add()ed to the knowledge object since the service
     # was cached; the old per-call behaviour applied such additions
     # immediately, so the service re-syncs before executing.
     service.sync_knowledge()
     result = service.execute(query, parameters=parameters, optimize=optimize)
-    return result.as_query_result()
+    if hasattr(result, "as_query_result"):
+        return result.as_query_result()
+    return result

@@ -42,20 +42,44 @@ class IndexError_(ReproError):
 
 
 class VQLSyntaxError(ReproError):
-    """Raised by the VQL lexer/parser on malformed query text."""
+    """Raised by the VQL lexer/parser on malformed query text.
+
+    Carries the offending position (offset, line, column) and, when the
+    source text is supplied, renders a caret snippet pointing at the
+    offending token::
+
+        expected keyword FROM, found 'WHER' (line 2, column 1)
+          WHER p.number == 1
+          ^
+    """
 
     def __init__(self, message: str, position: int | None = None,
-                 line: int | None = None, column: int | None = None):
+                 line: int | None = None, column: int | None = None,
+                 source: str | None = None):
         super().__init__(message)
         self.position = position
         self.line = line
         self.column = column
+        self.source = source
 
-    def __str__(self) -> str:  # pragma: no cover - formatting only
+    def __str__(self) -> str:
         base = super().__str__()
-        if self.line is not None and self.column is not None:
-            return f"{base} (line {self.line}, column {self.column})"
-        return base
+        if self.line is None or self.column is None:
+            return base
+        base = f"{base} (line {self.line}, column {self.column})"
+        snippet = self.snippet()
+        return f"{base}\n{snippet}" if snippet else base
+
+    def snippet(self, prefix: str = "  ") -> str | None:
+        """The offending source line with a caret under the error column."""
+        if self.source is None or self.line is None or self.column is None:
+            return None
+        lines = self.source.splitlines()
+        if not 0 < self.line <= len(lines):
+            return None
+        source_line = lines[self.line - 1]
+        caret = " " * max(self.column - 1, 0) + "^"
+        return f"{prefix}{source_line}\n{prefix}{caret}"
 
 
 class VQLAnalysisError(ReproError):

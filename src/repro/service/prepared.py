@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Mapping, Optional
 
 from repro.algebra.expressions import Expression
@@ -122,9 +123,33 @@ class PreparedExecutable:
         The result is fully materialized before the bindings are released,
         so the returned list never depends on the (thread-local) environment.
         """
+        with self.binding_scope(bindings):
+            return list(self._root())
+
+    def open(self) -> Iterator[Row]:
+        """A fresh, *lazy* row iterator over the plan (the streaming feed
+        behind the statement API's cursor).
+
+        The iterator performs no database work until it is advanced, and it
+        is **unbracketed**: the caller must activate the bindings around
+        every advance via :meth:`binding_scope`, e.g.::
+
+            rows = executable.open()
+            with executable.binding_scope({"n": 3}):
+                first = next(rows)
+
+        This keeps the thread-local binding cell scoped to the moments the
+        plan actually evaluates, so interleaved ``run`` calls (or other
+        streams) on the same thread cannot observe a foreign binding set.
+        """
+        return self._root()
+
+    @contextmanager
+    def binding_scope(self, bindings: Optional[Mapping[str, Any]]):
+        """Activate *bindings* on the calling thread for the ``with`` body."""
         previous = self._env.push(bindings)
         try:
-            return list(self._root())
+            yield
         finally:
             self._env.restore(previous)
 

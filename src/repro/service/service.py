@@ -10,11 +10,17 @@ before invalidating.
 The request lifecycle::
 
     execute(text, params)
-      ├─ statement cache: text ────────→ PreparedQuery (parse+analyze once)
+      ├─ StatementRouter: text ──→ AnalyzedStatement (parse+analyze once;
+      │     DDL/DML dispatch to the datamodel, queries continue below)
       ├─ resolve bindings (validates arity/names up front)
       ├─ plan cache: analyzed shape ──→ CachedPlan (translate+optimize+
       │                                  compile once per shape, versioned)
       └─ CachedPlan.executable.run(bindings)   (read-locked)
+
+UPDATE/DELETE WHERE clauses come back through ``execute_analyzed`` as
+derived queries, so mutation predicates share the plan cache; ``stream``
+opens a lazy :class:`RowStream` over the same cached plans (the feed
+behind the statement API's cursor).
 
 Every response carries :class:`QueryMetrics` (cache hit/miss, optimize vs
 execute time); the service aggregates them in :class:`ServiceMetrics`.
@@ -24,11 +30,12 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence, Union
 
+from repro.api.router import StatementRouter
+from repro.datamodel import ddl
 from repro.datamodel.database import Database
 from repro.errors import ServiceError
 from repro.algebra.translate import translate_query
@@ -43,9 +50,8 @@ from repro.service.concurrency import ReadWriteLock
 from repro.service.fingerprint import cache_key, query_fingerprint
 from repro.service.prepared import prepare_plan
 from repro.session import QueryResult
-from repro.vql.analyzer import AnalyzedQuery, analyze_query
+from repro.vql.analyzer import AnalyzedQuery
 from repro.vql.bindings import ParameterValues, resolve_bindings
-from repro.vql.parser import parse_query
 
 __all__ = ["PreparedQuery", "QueryMetrics", "QueryService",
            "ServiceMetrics", "ServiceResult"]
@@ -198,18 +204,23 @@ class QueryService:
         self._knowledge_size = len(self.knowledge)
         self.cache = PlanCache(capacity=cache_capacity,
                                reoptimize_fraction=reoptimize_fraction)
-        # text-level LRU: query text -> analyzed statement (parse + analyze
-        # once); bounded so arbitrary ad-hoc texts cannot grow it forever
-        self._statements: "OrderedDict[tuple[str, bool], PreparedQuery]" = (
-            OrderedDict())
-        self._statements_capacity = 4 * cache_capacity
-        self._statements_lock = threading.Lock()
         # single-flight guards: concurrent cold misses on one shape must not
         # duplicate the (expensive) optimize + compile work
         self._build_locks: dict[Any, threading.Lock] = {}
         self._build_locks_guard = threading.Lock()
         self._gate = ReadWriteLock()
         self.metrics = ServiceMetrics()
+        #: the shared statement front end: classification, DML and DDL live
+        #: in the router; queries come back through ``execute_analyzed`` so
+        #: they (and UPDATE/DELETE WHERE clauses) hit the plan cache.  The
+        #: router's text cache (schema-version-validated) is the single
+        #: statement cache — ``prepare`` resolves through it too.
+        self.router = StatementRouter(
+            database,
+            run_query=self.execute_analyzed,
+            explain_query=self._explain_analyzed,
+            write_guard=self._gate.write_locked,
+            statement_cache_size=4 * cache_capacity)
 
     # ------------------------------------------------------------------
     # statement preparation
@@ -222,22 +233,15 @@ class QueryService:
         return statement
 
     def _statement(self, text: str, optimize: bool) -> PreparedQuery:
-        key = (text, optimize)
-        with self._statements_lock:
-            cached = self._statements.get(key)
-            if cached is not None:
-                self._statements.move_to_end(key)
-                return cached
-        analyzed = analyze_query(parse_query(text), self.schema)
-        statement = PreparedQuery(
-            text=text, analyzed=analyzed, optimize=optimize,
-            fingerprint=query_fingerprint(analyzed, optimize))
-        with self._statements_lock:
-            statement = self._statements.setdefault(key, statement)
-            self._statements.move_to_end(key)
-            while len(self._statements) > self._statements_capacity:
-                self._statements.popitem(last=False)
-            self.metrics.statements_prepared = len(self._statements)
+        """Resolve query text to a prepared handle via the router's
+        statement cache (one cache, one invalidation discipline)."""
+        analyzed = self.router.analyze(text)
+        if not analyzed.is_query:
+            raise ServiceError(
+                f"cannot prepare a {analyzed.kind.upper()} statement — "
+                "prepare() is for queries")
+        statement = self._prepared_for(analyzed.query, optimize)
+        self.metrics.statements_prepared = self.router.cached_statements
         return statement
 
     # ------------------------------------------------------------------
@@ -245,16 +249,64 @@ class QueryService:
     # ------------------------------------------------------------------
     def execute(self, query: QueryInput,
                 parameters: ParameterValues = None,
-                optimize: bool = True) -> ServiceResult:
-        """Execute *query* (text or prepared handle) with *parameters*."""
-        started = time.perf_counter()
-        if isinstance(query, PreparedQuery):
-            statement = query
-        else:
-            statement = self._statement(query, optimize)
-        analyze_seconds = time.perf_counter() - started
+                optimize: bool = True):
+        """Execute one statement (text or prepared handle) with *parameters*.
 
+        Query text routes through the shared :class:`StatementRouter`, so —
+        beyond ``ACCESS`` queries — the service accepts the full statement
+        language (``INSERT``/``UPDATE``/``DELETE``/DDL); queries return a
+        :class:`ServiceResult`, mutations a
+        :class:`~repro.api.router.StatementResult`.
+        """
+        if isinstance(query, PreparedQuery):
+            return self._execute_prepared(query, parameters)
+        result = self.router.execute(query, parameters=parameters,
+                                     optimize=optimize)
+        self.metrics.statements_prepared = self.router.cached_statements
+        return result
+
+    def execute_analyzed(self, analyzed: AnalyzedQuery,
+                         parameters: ParameterValues = None,
+                         optimize: bool = True) -> ServiceResult:
+        """Execute an already-analyzed query through the plan cache.
+
+        This is the router's query runner: the plan cache keys on the
+        analyzed query's structure, so statements that were analyzed by the
+        router (including the WHERE-queries derived from UPDATE/DELETE)
+        share cached plans exactly like text submitted to :meth:`execute`.
+        """
+        return self._execute_prepared(self._prepared_for(analyzed, optimize),
+                                      parameters)
+
+    @staticmethod
+    def _prepared_for(analyzed: AnalyzedQuery,
+                      optimize: bool) -> PreparedQuery:
+        """The prepared handle for an analyzed query, memoized on it.
+
+        Router-analyzed statements are reused across executions (and across
+        every row of an ``executemany`` batch), so the fingerprint — a
+        serialization + hash of the whole query AST — is computed once per
+        analyzed shape, not once per call.  The handle carries no
+        service-local state, so sharing one analyzed query between owners
+        is safe; a benign race may build the handle twice.
+        """
+        handles = getattr(analyzed, "prepared_handles", None)
+        if handles is None:
+            handles = {}
+            analyzed.prepared_handles = handles
+        statement = handles.get(optimize)
+        if statement is None:
+            statement = PreparedQuery(
+                text="", analyzed=analyzed, optimize=optimize,
+                fingerprint=query_fingerprint(analyzed, optimize))
+            handles[optimize] = statement
+        return statement
+
+    def _execute_prepared(self, statement: PreparedQuery,
+                          parameters: ParameterValues) -> ServiceResult:
+        started = time.perf_counter()
         bindings = resolve_bindings(statement.analyzed.parameters, parameters)
+        analyze_seconds = time.perf_counter() - started
 
         with self._gate.read_locked():
             entry, cache_hit = self._entry_for(statement)
@@ -399,32 +451,101 @@ class QueryService:
         self._knowledge_version += 1
         self._knowledge_size = len(self.knowledge)
 
-    def create_hash_index(self, class_name: str, prop: str):
+    def create_index(self, class_name: str, prop: str, kind: str = "hash"):
+        """Create a ``hash``/``sorted``/``text`` index under the write gate.
+
+        One generic entry point (backed by :mod:`repro.datamodel.ddl`)
+        replaces the former per-kind pass-throughs; the legacy names below
+        remain as aliases.
+        """
         with self._gate.write_locked():
-            return self.database.create_hash_index(class_name, prop)
+            return ddl.create_index(self.database, kind, class_name, prop)
+
+    def drop_index(self, class_name: str, prop: str, text: bool = False) -> None:
+        """Drop the (text) index on ``class_name.prop`` under the write gate."""
+        with self._gate.write_locked():
+            ddl.drop_index(self.database, class_name, prop, text=text)
+
+    # legacy aliases for the generic index DDL above
+    def create_hash_index(self, class_name: str, prop: str):
+        return self.create_index(class_name, prop, kind="hash")
 
     def create_sorted_index(self, class_name: str, prop: str):
-        with self._gate.write_locked():
-            return self.database.create_sorted_index(class_name, prop)
+        return self.create_index(class_name, prop, kind="sorted")
 
     def create_text_index(self, class_name: str, prop: str):
-        with self._gate.write_locked():
-            return self.database.create_text_index(class_name, prop)
-
-    def drop_index(self, class_name: str, prop: str) -> None:
-        with self._gate.write_locked():
-            self.database.drop_index(class_name, prop)
+        return self.create_index(class_name, prop, kind="text")
 
     def drop_text_index(self, class_name: str, prop: str) -> None:
-        with self._gate.write_locked():
-            self.database.drop_text_index(class_name, prop)
+        self.drop_index(class_name, prop, text=True)
+
+    # ------------------------------------------------------------------
+    # streaming (the generator feed behind the statement API's cursor)
+    # ------------------------------------------------------------------
+    def stream(self, query: QueryInput,
+               parameters: ParameterValues = None,
+               optimize: bool = True) -> "RowStream":
+        """Open a lazy row stream over the cached plan for *query*.
+
+        Rows are produced by the prepared executable's generator tree on
+        demand — nothing is materialized up front.  Each fetch runs under
+        the service's read gate with the stream's bindings active, so
+        concurrent streams (and plain ``execute`` calls) on one thread
+        cannot observe each other's parameter values.
+        """
+        if isinstance(query, PreparedQuery):
+            statement = query
+        else:
+            analyzed = self.router.analyze(query)
+            if not analyzed.is_query:
+                raise ServiceError(
+                    f"cannot stream a {analyzed.kind.upper()} statement")
+            return self.stream_analyzed(analyzed.query, parameters, optimize)
+        return self._open_stream(statement, parameters)
+
+    def stream_analyzed(self, analyzed: AnalyzedQuery,
+                        parameters: ParameterValues = None,
+                        optimize: bool = True) -> "RowStream":
+        """:meth:`stream` for an already-analyzed query."""
+        return self._open_stream(self._prepared_for(analyzed, optimize),
+                                 parameters)
+
+    def _open_stream(self, statement: PreparedQuery,
+                     parameters: ParameterValues) -> "RowStream":
+        bindings = resolve_bindings(statement.analyzed.parameters, parameters)
+        with self._gate.read_locked():
+            entry, cache_hit = self._entry_for(statement)
+        self.metrics.statements_prepared = self.router.cached_statements
+        metrics = QueryMetrics(
+            fingerprint=entry.fingerprint,
+            cache_hit=cache_hit,
+            prepare_seconds=0.0 if cache_hit else entry.prepare_seconds,
+            optimize_seconds=0.0 if cache_hit else entry.optimize_seconds)
+
+        def record(stream: "RowStream") -> None:
+            # streamed executions enter the service metrics once, when the
+            # stream exhausts or is closed (rows = what was consumed)
+            metrics.rows = stream.consumed
+            metrics.execute_seconds = stream.fetch_seconds
+            self.metrics.record(metrics)
+
+        return RowStream(self._gate, entry, bindings, on_finish=record)
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def explain(self, text: str, optimize: bool = True) -> str:
-        """Describe the cached plan for *text* (preparing it if needed)."""
-        statement = self._statement(text, optimize)
+        """Describe how *text* would be evaluated (preparing it if needed).
+
+        For UPDATE/DELETE statements this explains the derived WHERE-query,
+        which is where an indexed mutation predicate shows its index access
+        path.
+        """
+        return self.router.explain(text, optimize=optimize)
+
+    def _explain_analyzed(self, analyzed: AnalyzedQuery,
+                          optimize: bool = True) -> str:
+        statement = self._prepared_for(analyzed, optimize)
         with self._gate.read_locked():
             entry, _ = self._entry_for(statement)
         if entry.optimization is not None:
@@ -434,3 +555,78 @@ class QueryService:
     def __str__(self) -> str:
         return (f"QueryService({self.database}, {len(self.cache)} cached "
                 f"plans, knowledge v{self._knowledge_version})")
+
+
+class RowStream:
+    """A lazy row feed over one cached plan (see :meth:`QueryService.stream`).
+
+    The stream owns a generator opened on the plan's prepared executable;
+    :meth:`fetch` advances it by at most *n* rows, bracketing every advance
+    with the read gate and the stream's bind parameters.  Because the gate
+    is only held per fetch, DDL and DML can interleave with an open stream
+    — but the stream is *not* a snapshot: a plan whose index is dropped, or
+    whose not-yet-fetched rows are deleted, fails on the next fetch exactly
+    like the one-shot engines would on vanished state.  The scan-then-
+    mutate pattern therefore is: drain the cursor first (or buffer the
+    mutations with ``autocommit=False``) and apply afterwards.
+    """
+
+    def __init__(self, gate, entry: CachedPlan,
+                 bindings: Optional[dict] = None,
+                 on_finish=None):
+        self._gate = gate
+        self._entry = entry
+        self._bindings = bindings
+        self._iterator = entry.executable.open()
+        self._exhausted = False
+        self._on_finish = on_finish
+        self.output_ref = entry.output_ref
+        self.fingerprint = entry.fingerprint
+        self.consumed = 0
+        self.fetch_seconds = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def fetch(self, n: int) -> list[Row]:
+        """Return up to *n* further rows (an empty list once exhausted)."""
+        if self._exhausted or n <= 0:
+            return []
+        rows: list[Row] = []
+        iterator = self._iterator
+        started = time.perf_counter()
+        finished = False
+        with self._gate.read_locked():
+            with self._entry.executable.binding_scope(self._bindings):
+                for _ in range(n):
+                    try:
+                        rows.append(next(iterator))
+                    except StopIteration:
+                        self._exhausted = True
+                        finished = True
+                        break
+        self.fetch_seconds += time.perf_counter() - started
+        self.consumed += len(rows)
+        if finished:
+            self._finish()
+        return rows
+
+    def drain(self) -> list[Row]:
+        """Fetch every remaining row."""
+        rows: list[Row] = []
+        while not self._exhausted:
+            rows.extend(self.fetch(1024))
+        return rows
+
+    def close(self) -> None:
+        """Release the underlying generator without draining it."""
+        if not self._exhausted:
+            self._exhausted = True
+            self._iterator.close()
+            self._finish()
+
+    def _finish(self) -> None:
+        if self._on_finish is not None:
+            callback, self._on_finish = self._on_finish, None
+            callback(self)

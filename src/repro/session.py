@@ -14,6 +14,7 @@ from typing import Any, Optional, Sequence, Union
 from repro.algebra.operators import LogicalOperator
 from repro.algebra.printer import format_tree
 from repro.algebra.translate import TranslationResult, translate_query
+from repro.api.router import StatementRouter
 from repro.datamodel.database import Database
 from repro.errors import ReproError
 from repro.optimizer.generator import OptimizerGenerator
@@ -91,6 +92,13 @@ class Session:
             self.optimizer = self._generator.generate(
                 database=database, exclude_tags=exclude_tags, options=options,
                 parallelism=self.parallelism)
+        #: shared statement front end: the session supplies its per-call
+        #: pipeline as the query runner, so DML WHERE clauses are planned by
+        #: this session's optimizer exactly like its queries
+        self.router = StatementRouter(
+            database,
+            run_query=self._execute_analyzed,
+            explain_query=self._explain_analyzed)
 
     # ------------------------------------------------------------------
     # pipeline stages
@@ -114,8 +122,15 @@ class Session:
     # execution
     # ------------------------------------------------------------------
     def execute(self, query: QueryLike, optimize: bool = True,
-                parameters: ParameterValues = None) -> QueryResult:
-        """Run the full pipeline and return the result rows.
+                parameters: ParameterValues = None):
+        """Execute one statement and return its result.
+
+        Statement text routes through the shared
+        :class:`~repro.api.router.StatementRouter`: ``ACCESS`` queries run
+        the full per-call pipeline below and return a :class:`QueryResult`;
+        ``INSERT``/``UPDATE``/``DELETE``/DDL return a
+        :class:`~repro.api.router.StatementResult`, with mutation WHERE
+        clauses planned by this session's optimizer.
 
         With ``optimize=False`` the canonical logical plan is lowered
         one-to-one to physical operators (the paper's "straightforward
@@ -127,7 +142,17 @@ class Session:
         full pipeline); :class:`repro.service.QueryService` is the prepared
         path that optimizes the parametrized shape once.
         """
-        analyzed = self._bind(self.analyze(query), parameters)
+        if isinstance(query, Query):
+            return self._execute_analyzed(
+                analyze_query(query, self.schema), parameters, optimize)
+        return self.router.execute(query, parameters=parameters,
+                                   optimize=optimize)
+
+    def _execute_analyzed(self, analyzed: AnalyzedQuery,
+                          parameters: ParameterValues,
+                          optimize: bool = True) -> QueryResult:
+        """The per-call query pipeline (the router's query runner)."""
+        analyzed = self._bind(analyzed, parameters)
         translation = translate_query(analyzed)
         optimization: Optional[OptimizationResult] = None
         if optimize:
@@ -173,16 +198,27 @@ class Session:
     # inspection
     # ------------------------------------------------------------------
     def explain(self, query: QueryLike) -> str:
-        """Describe how the query would be evaluated, without executing it."""
-        translation = self.translate(query)
-        optimization = self.optimizer.optimize(translation.plan)
+        """Describe how the statement would be evaluated, without executing
+        it (for UPDATE/DELETE: the plan of the derived WHERE-query)."""
+        if isinstance(query, Query):
+            return self._explain_analyzed(analyze_query(query, self.schema))
+        return self.router.explain(query)
+
+    def _explain_analyzed(self, analyzed: AnalyzedQuery,
+                          optimize: bool = True) -> str:
+        translation = translate_query(analyzed)
         lines = [
             "query:",
-            _indent(str(self.parse(query))),
+            _indent(str(analyzed.query)),
             "canonical logical plan:",
             _indent(format_tree(translation.plan)),
-            optimization.explain(),
         ]
+        if optimize:
+            lines.append(self.optimizer.optimize(translation.plan).explain())
+        else:
+            physical = naive_implementation(translation.plan)
+            lines.append("naive physical plan:")
+            lines.append(_indent(physical.describe()))
         return "\n".join(lines)
 
     def trace(self, query: QueryLike, limit: Optional[int] = 50) -> str:

@@ -1,37 +1,65 @@
-"""VQL — the declarative query language front-end.
+"""VQL — the declarative statement language front-end.
 
-Exports the parser (:func:`parse_query`, :func:`parse_expression`), the AST
-(:class:`Query`, :class:`RangeDeclaration`) and the analyzer
-(:func:`analyze_query`, :class:`AnalyzedQuery`).
+Exports the parser (:func:`parse_query`, :func:`parse_expression`,
+:func:`parse_statement`), the AST (:class:`Query`,
+:class:`RangeDeclaration`, the DDL/DML statement nodes) and the analyzer
+(:func:`analyze_query`, :class:`AnalyzedQuery`, :func:`analyze_statement`,
+:class:`AnalyzedStatement`).
 """
 
 from repro.vql.analyzer import (
     AnalyzedQuery,
+    AnalyzedStatement,
     Analyzer,
     analyze_query,
+    analyze_statement,
     class_of_type,
     infer_expression_type,
     resolve_class_references,
 )
-from repro.vql.ast import Query, RangeDeclaration
+from repro.vql.ast import (
+    CreateClassStatement,
+    CreateIndexStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    InsertStatement,
+    PropertySpec,
+    Query,
+    RangeDeclaration,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
 from repro.vql.bindings import bind_query, resolve_bindings
 from repro.vql.lexer import Token, tokenize
-from repro.vql.parser import Parser, parse_expression, parse_query
+from repro.vql.parser import Parser, parse_expression, parse_query, parse_statement
 
 __all__ = [
     "bind_query",
     "resolve_bindings",
     "AnalyzedQuery",
+    "AnalyzedStatement",
     "Analyzer",
     "analyze_query",
+    "analyze_statement",
     "class_of_type",
     "infer_expression_type",
     "resolve_class_references",
     "Query",
     "RangeDeclaration",
+    "Statement",
+    "SelectStatement",
+    "PropertySpec",
+    "CreateClassStatement",
+    "CreateIndexStatement",
+    "DropIndexStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
     "Token",
     "tokenize",
     "Parser",
     "parse_expression",
     "parse_query",
+    "parse_statement",
 ]

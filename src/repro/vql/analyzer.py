@@ -35,7 +35,7 @@ from repro.algebra.expressions import (
     Var,
     parameters_used,
 )
-from repro.datamodel.schema import Schema
+from repro.datamodel.schema import PropertyDef, Schema
 from repro.datamodel.types import (
     ANY,
     BOOL,
@@ -49,10 +49,22 @@ from repro.datamodel.types import (
     infer_type,
 )
 from repro.errors import MethodResolutionError, SchemaError, VQLAnalysisError
-from repro.vql.ast import Query, RangeDeclaration
+from repro.vql.ast import (
+    CreateClassStatement,
+    CreateIndexStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    InsertStatement,
+    Query,
+    RangeDeclaration,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
 
 __all__ = ["AnalyzedQuery", "Analyzer", "analyze_query", "infer_expression_type",
-           "resolve_class_references", "class_of_type"]
+           "resolve_class_references", "class_of_type",
+           "AnalyzedStatement", "analyze_statement"]
 
 
 @dataclass
@@ -324,3 +336,227 @@ class Analyzer:
 def _free_variable_names(expr: Expression) -> set[str]:
     from repro.algebra.expressions import free_vars
     return free_vars(expr)
+
+
+# ----------------------------------------------------------------------
+# statement analysis (DDL / DML / query)
+# ----------------------------------------------------------------------
+@dataclass
+class AnalyzedStatement:
+    """A resolved, type-checked statement ready for the router.
+
+    ``kind`` is one of ``select``, ``insert``, ``update``, ``delete``,
+    ``create_class``, ``create_index``, ``drop_index``.  For selects,
+    ``query`` is the analyzed query; for UPDATE/DELETE it is the derived
+    *WHERE-query* (``ACCESS alias FROM alias IN Class WHERE cond``) which
+    the router plans through the full optimizer so mutations pick up index
+    access paths and bind parameters.  ``parameters`` lists every bind
+    parameter of the whole statement in first-occurrence order.  ``cache``
+    is scratch space for executors (compiled value getters, prepared
+    handles); it never affects statement semantics.
+    """
+
+    kind: str
+    statement: Statement
+    parameters: tuple[str, ...] = ()
+    query: Optional[AnalyzedQuery] = None
+    assignments: tuple[tuple[str, Expression], ...] = ()
+    property_defs: tuple[PropertyDef, ...] = ()
+    cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def class_name(self) -> Optional[str]:
+        return getattr(self.statement, "class_name", None)
+
+    @property
+    def alias(self) -> Optional[str]:
+        return getattr(self.statement, "alias", None)
+
+    @property
+    def is_query(self) -> bool:
+        return self.kind == "select"
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.kind in ("insert", "update", "delete")
+
+
+#: primitive type names accepted in CREATE CLASS property specs
+_PRIMITIVE_TYPES: dict[str, VMLType] = {
+    "STRING": STRING, "INT": INT, "REAL": REAL, "BOOL": BOOL, "ANY": ANY,
+}
+
+
+def analyze_statement(statement: Statement, schema: Schema) -> AnalyzedStatement:
+    """Resolve and type-check *statement* against *schema*."""
+    if isinstance(statement, SelectStatement):
+        analyzed = analyze_query(statement.query, schema)
+        return AnalyzedStatement(kind="select", statement=statement,
+                                 parameters=analyzed.parameters,
+                                 query=analyzed)
+    if isinstance(statement, InsertStatement):
+        return _analyze_insert(statement, schema)
+    if isinstance(statement, UpdateStatement):
+        return _analyze_update(statement, schema)
+    if isinstance(statement, DeleteStatement):
+        return _analyze_delete(statement, schema)
+    if isinstance(statement, CreateClassStatement):
+        return _analyze_create_class(statement, schema)
+    if isinstance(statement, CreateIndexStatement):
+        _check_index_target(statement.class_name, statement.prop, schema)
+        return AnalyzedStatement(kind="create_index", statement=statement)
+    if isinstance(statement, DropIndexStatement):
+        _check_index_target(statement.class_name, statement.prop, schema)
+        return AnalyzedStatement(kind="drop_index", statement=statement)
+    raise VQLAnalysisError(f"unsupported statement {statement!r}")
+
+
+def _require_class(class_name: str, schema: Schema) -> None:
+    if not schema.has_class(class_name):
+        raise VQLAnalysisError(f"unknown class {class_name!r}")
+
+
+def _check_index_target(class_name: str, prop: str, schema: Schema) -> None:
+    _require_class(class_name, schema)
+    if not schema.has_property(class_name, prop):
+        raise VQLAnalysisError(
+            f"class {class_name!r} has no property {prop!r}")
+
+
+def _analyze_assignments(assignments, schema: Schema, class_name: str,
+                         env: Mapping[str, VMLType], bound: set[str],
+                         statement_kind: str):
+    """Resolve/type-check ``prop = expr`` pairs shared by INSERT and UPDATE."""
+    resolved: list[tuple[str, Expression]] = []
+    parameter_keys: list[str] = []
+    seen: set[str] = set()
+    for prop, expr in assignments:
+        if prop in seen:
+            raise VQLAnalysisError(
+                f"{statement_kind} assigns property {prop!r} twice")
+        seen.add(prop)
+        try:
+            prop_def = schema.resolve_property(class_name, prop)
+        except SchemaError as exc:
+            raise VQLAnalysisError(str(exc)) from exc
+        value = resolve_class_references(expr, schema, bound)
+        stray = _free_variable_names(value) - bound
+        if stray:
+            raise VQLAnalysisError(
+                f"{statement_kind} value for {prop!r} uses unbound "
+                f"variable(s) {', '.join(sorted(stray))}")
+        actual = infer_expression_type(value, env, schema)
+        if not _assignable(prop_def.vml_type, actual):
+            raise VQLAnalysisError(
+                f"value of type {actual} cannot be assigned to "
+                f"{class_name}.{prop}: {prop_def.vml_type}")
+        for key in parameters_used(value):
+            if key not in parameter_keys:
+                parameter_keys.append(key)
+        resolved.append((prop, value))
+    return tuple(resolved), parameter_keys
+
+
+def _analyze_insert(statement: InsertStatement,
+                    schema: Schema) -> AnalyzedStatement:
+    _require_class(statement.class_name, schema)
+    assignments, parameter_keys = _analyze_assignments(
+        statement.assignments, schema, statement.class_name,
+        env={}, bound=set(), statement_kind="INSERT")
+    return AnalyzedStatement(kind="insert", statement=statement,
+                             parameters=tuple(parameter_keys),
+                             assignments=assignments)
+
+
+def _where_query(class_name: str, alias: str, where: Optional[Expression],
+                 schema: Schema) -> AnalyzedQuery:
+    """Build and analyze the WHERE-query a mutation's predicate plans as."""
+    _require_class(class_name, schema)
+    if schema.has_class(alias):
+        raise VQLAnalysisError(
+            f"DML alias {alias!r} shadows a schema class")
+    query = Query(access=Var(alias),
+                  ranges=(RangeDeclaration(alias, Var(class_name)),),
+                  where=where)
+    return analyze_query(query, schema)
+
+
+def _analyze_update(statement: UpdateStatement,
+                    schema: Schema) -> AnalyzedStatement:
+    analyzed_where = _where_query(statement.class_name, statement.alias,
+                                  statement.where, schema)
+    assignments, parameter_keys = _analyze_assignments(
+        statement.assignments, schema, statement.class_name,
+        env={statement.alias: ObjectType(statement.class_name)},
+        bound={statement.alias}, statement_kind="UPDATE")
+    # textual order: SET expressions precede the WHERE clause
+    for key in analyzed_where.parameters:
+        if key not in parameter_keys:
+            parameter_keys.append(key)
+    return AnalyzedStatement(kind="update", statement=statement,
+                             parameters=tuple(parameter_keys),
+                             query=analyzed_where, assignments=assignments)
+
+
+def _analyze_delete(statement: DeleteStatement,
+                    schema: Schema) -> AnalyzedStatement:
+    analyzed_where = _where_query(statement.class_name, statement.alias,
+                                  statement.where, schema)
+    return AnalyzedStatement(kind="delete", statement=statement,
+                             parameters=analyzed_where.parameters,
+                             query=analyzed_where)
+
+
+def _analyze_create_class(statement: CreateClassStatement,
+                          schema: Schema) -> AnalyzedStatement:
+    if schema.has_class(statement.class_name):
+        raise VQLAnalysisError(
+            f"class {statement.class_name!r} already exists")
+    if statement.superclass is not None and \
+            not schema.has_class(statement.superclass):
+        raise VQLAnalysisError(
+            f"unknown superclass {statement.superclass!r}")
+    seen: set[str] = set()
+    property_defs: list[PropertyDef] = []
+    for spec in statement.properties:
+        if spec.name in seen:
+            raise VQLAnalysisError(
+                f"CREATE CLASS declares property {spec.name!r} twice")
+        seen.add(spec.name)
+        type_name = spec.type_name
+        primitive = _PRIMITIVE_TYPES.get(type_name.upper())
+        if primitive is not None:
+            vml_type: VMLType = primitive
+            target: Optional[str] = None
+        elif schema.has_class(type_name) or type_name == statement.class_name:
+            vml_type = ObjectType(type_name)
+            target = type_name
+        else:
+            raise VQLAnalysisError(
+                f"unknown type {type_name!r} for property {spec.name!r} "
+                "(expected STRING, INT, REAL, BOOL, ANY or a class name)")
+        if spec.is_set:
+            vml_type = SetType(vml_type)
+        property_defs.append(
+            PropertyDef(spec.name, vml_type, target_class=target))
+    return AnalyzedStatement(kind="create_class", statement=statement,
+                             property_defs=tuple(property_defs))
+
+
+def _assignable(expected: VMLType, actual: VMLType) -> bool:
+    """Static assignability for DML values.
+
+    ``ANY`` (bind parameters, heterogeneous constructors) is compatible with
+    everything; object types are mutually assignable (class conformance of
+    OIDs is enforced dynamically by the datamodel); INT widens to REAL; set
+    types recurse on their element types.
+    """
+    if expected == ANY or actual == ANY:
+        return True
+    if isinstance(expected, SetType) and isinstance(actual, SetType):
+        return _assignable(expected.element, actual.element)
+    if isinstance(expected, ObjectType) and isinstance(actual, ObjectType):
+        return True
+    if expected == REAL and actual == INT:
+        return True
+    return expected == actual

@@ -4,9 +4,13 @@ The lexer recognises the subset of VQL exercised by the paper: keywords
 (ACCESS, FROM, WHERE, IN, IS-IN, IS-SUBSET, AND, OR, NOT, TRUE, FALSE,
 INTERSECTION, UNION, DIFFERENCE), identifiers, string and numeric literals,
 the method-call arrow (``->`` or the typographic ``→``), path dots, brackets,
-the comparison/arithmetic operators, and bind-parameter markers
+the comparison/arithmetic operators, bind-parameter markers
 (``?`` / ``?3`` positional, ``:name`` named — the ``:`` doubles as the tuple
-constructor separator, the parser disambiguates by context).
+constructor separator, the parser disambiguates by context), and the plain
+``=`` used by ``UPDATE ... SET`` assignments.  The DDL/DML statement words
+(CREATE, INSERT, SET, ...) are deliberately *not* keywords — the statement
+parser matches them case-insensitively from identifier tokens so they stay
+usable as ordinary identifiers inside queries.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ KEYWORDS = {
 
 #: multi-character operators, longest first so prefixes do not shadow them
 _MULTI_CHAR = ["==", "!=", "<=", ">=", "->"]
-_SINGLE_CHAR = list("()[]{}.,:<>+-*/?")
+_SINGLE_CHAR = list("()[]{}.,:<>+-*/?=")
 
 
 @dataclass(frozen=True)
@@ -78,9 +82,16 @@ def _scan(text: str) -> Iterator[Token]:
         if text.startswith("/*", position):
             end = text.find("*/", position + 2)
             if end < 0:
-                raise VQLSyntaxError("unterminated comment", position, line, column)
+                raise VQLSyntaxError("unterminated comment", position, line,
+                                     column, source=text)
             skipped = text[position:end + 2]
-            line += skipped.count("\n")
+            newlines = skipped.count("\n")
+            line += newlines
+            if newlines:
+                # column restarts after the comment's last newline
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
             position = end + 2
             continue
         if text.startswith("--", position):
@@ -101,7 +112,7 @@ def _scan(text: str) -> Iterator[Token]:
                 end += 1
             if end >= length:
                 raise VQLSyntaxError("unterminated string literal",
-                                     position, line, column)
+                                     position, line, column, source=text)
             literal = text[position + 1:end]
             yield make("STRING", literal)
             column += end + 1 - position
@@ -166,6 +177,7 @@ def _scan(text: str) -> Iterator[Token]:
             column += 1
             continue
 
-        raise VQLSyntaxError(f"illegal character {char!r}", position, line, column)
+        raise VQLSyntaxError(f"illegal character {char!r}", position, line,
+                             column, source=text)
 
     yield Token("EOF", "", position, line, column)

@@ -26,13 +26,32 @@ from repro.algebra.expressions import (
     Var,
 )
 from repro.errors import VQLSyntaxError
-from repro.vql.ast import Query, RangeDeclaration
+from repro.vql.ast import (
+    DEFAULT_DML_ALIAS,
+    CreateClassStatement,
+    CreateIndexStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    InsertStatement,
+    PropertySpec,
+    Query,
+    RangeDeclaration,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
 from repro.vql.lexer import Token, tokenize
 
-__all__ = ["parse_query", "parse_expression", "Parser"]
+__all__ = ["parse_query", "parse_expression", "parse_statement", "Parser"]
 
 #: set-valued binary operators allowed in expressions (plan-level operators)
 _SET_OPS = {"INTERSECTION": "INTERSECT", "UNION": "UNION", "DIFFERENCE": "DIFF"}
+
+#: soft keywords introducing DDL/DML statements.  They are deliberately NOT
+#: lexer keywords: adding them there would steal ordinary identifiers
+#: (``update``, ``set``, ...) from existing queries, so the statement parser
+#: recognises them case-insensitively from IDENT tokens instead.
+_STATEMENT_WORDS = ("CREATE", "DROP", "INSERT", "UPDATE", "DELETE")
 
 
 def parse_query(text: str) -> Query:
@@ -41,6 +60,14 @@ def parse_query(text: str) -> Query:
     query = parser.parse_query()
     parser.expect_eof()
     return query
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one VQL statement: a query or a DDL/DML statement."""
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
 
 
 def parse_expression(text: str) -> Expression:
@@ -109,11 +136,28 @@ class Parser:
         if self.current.kind != "EOF":
             raise self._error("unexpected trailing input")
 
+    # -- soft keywords (IDENT tokens matched case-insensitively) --------
+    def check_word(self, word: str) -> bool:
+        token = self.current
+        return token.kind in ("IDENT", "KEYWORD") and token.text.upper() == word
+
+    def accept_word(self, word: str) -> bool:
+        if self.check_word(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> Token:
+        if not self.check_word(word):
+            raise self._error(f"expected {word}")
+        return self.advance()
+
     def _error(self, message: str) -> VQLSyntaxError:
         token = self.current
         found = token.text or "<end of input>"
         return VQLSyntaxError(f"{message}, found {found!r}",
-                              token.position, token.line, token.column)
+                              token.position, token.line, token.column,
+                              source=self.text)
 
     # ------------------------------------------------------------------
     # grammar: query
@@ -135,6 +179,138 @@ class Parser:
         self.expect_keyword("IN")
         source = self.parse_expression()
         return RangeDeclaration(variable=variable, source=source)
+
+    # ------------------------------------------------------------------
+    # grammar: statements (DDL / DML / query)
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        token = self.current
+        if token.is_keyword("ACCESS"):
+            return SelectStatement(self.parse_query())
+        if token.kind == "IDENT":
+            word = token.text.upper()
+            if word == "CREATE":
+                return self._parse_create()
+            if word == "DROP":
+                return self._parse_drop()
+            if word == "INSERT":
+                return self._parse_insert()
+            if word == "UPDATE":
+                return self._parse_update()
+            if word == "DELETE":
+                return self._parse_delete()
+        raise self._error(
+            "expected a statement (ACCESS, CREATE, DROP, INSERT, UPDATE "
+            "or DELETE)")
+
+    def _parse_create(self) -> Statement:
+        self.expect_word("CREATE")
+        if self.check_word("CLASS"):
+            return self._parse_create_class()
+        kind = "hash"
+        for candidate in ("HASH", "SORTED", "TEXT"):
+            if self.accept_word(candidate):
+                kind = candidate.lower()
+                break
+        self.expect_word("INDEX")
+        class_name, prop = self._parse_index_target()
+        return CreateIndexStatement(kind=kind, class_name=class_name, prop=prop)
+
+    def _parse_create_class(self) -> CreateClassStatement:
+        self.expect_word("CLASS")
+        name = self.expect_ident().text
+        superclass: Optional[str] = None
+        if self.accept_word("ISA"):
+            superclass = self.expect_ident().text
+        properties: list[PropertySpec] = []
+        if self.accept_op("("):
+            if not self.current.is_op(")"):
+                properties.append(self._parse_property_spec())
+                while self.accept_op(","):
+                    properties.append(self._parse_property_spec())
+            self.expect_op(")")
+        return CreateClassStatement(class_name=name, superclass=superclass,
+                                    properties=tuple(properties))
+
+    def _parse_property_spec(self) -> PropertySpec:
+        name = self.expect_ident().text
+        self.expect_op(":")
+        if self.accept_op("{"):
+            type_name = self.expect_ident().text
+            self.expect_op("}")
+            return PropertySpec(name=name, type_name=type_name, is_set=True)
+        return PropertySpec(name=name, type_name=self.expect_ident().text)
+
+    def _parse_drop(self) -> DropIndexStatement:
+        self.expect_word("DROP")
+        kind = "text" if self.accept_word("TEXT") else "index"
+        self.expect_word("INDEX")
+        class_name, prop = self._parse_index_target()
+        return DropIndexStatement(kind=kind, class_name=class_name, prop=prop)
+
+    def _parse_index_target(self) -> tuple[str, str]:
+        self.expect_word("ON")
+        class_name = self.expect_ident().text
+        self.expect_op("(")
+        prop = self.expect_ident().text
+        self.expect_op(")")
+        return class_name, prop
+
+    def _parse_insert(self) -> InsertStatement:
+        self.expect_word("INSERT")
+        self.expect_word("INTO")
+        class_name = self.expect_ident().text
+        self.expect_op("(")
+        names = [self.expect_ident().text]
+        while self.accept_op(","):
+            names.append(self.expect_ident().text)
+        self.expect_op(")")
+        self.expect_word("VALUES")
+        self.expect_op("(")
+        values = [self.parse_expression()]
+        while self.accept_op(","):
+            values.append(self.parse_expression())
+        self.expect_op(")")
+        if len(names) != len(values):
+            raise self._error(
+                f"INSERT lists {len(names)} propert"
+                f"{'y' if len(names) == 1 else 'ies'} but "
+                f"{len(values)} value(s)")
+        return InsertStatement(class_name=class_name,
+                               assignments=tuple(zip(names, values)))
+
+    def _parse_update(self) -> UpdateStatement:
+        self.expect_word("UPDATE")
+        class_name = self.expect_ident().text
+        alias = DEFAULT_DML_ALIAS
+        if self.current.kind == "IDENT" and not self.check_word("SET"):
+            alias = self.advance().text
+        self.expect_word("SET")
+        assignments = [self._parse_assignment()]
+        while self.accept_op(","):
+            assignments.append(self._parse_assignment())
+        where: Optional[Expression] = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return UpdateStatement(class_name=class_name, alias=alias,
+                               assignments=tuple(assignments), where=where)
+
+    def _parse_assignment(self) -> tuple[str, Expression]:
+        prop = self.expect_ident().text
+        self.expect_op("=")
+        return prop, self.parse_expression()
+
+    def _parse_delete(self) -> DeleteStatement:
+        self.expect_word("DELETE")
+        self.expect_keyword("FROM")
+        class_name = self.expect_ident().text
+        alias = DEFAULT_DML_ALIAS
+        if self.current.kind == "IDENT":
+            alias = self.advance().text
+        where: Optional[Expression] = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return DeleteStatement(class_name=class_name, alias=alias, where=where)
 
     # ------------------------------------------------------------------
     # grammar: expressions (precedence climbing)

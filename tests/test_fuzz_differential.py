@@ -279,6 +279,182 @@ def test_generator_is_deterministic():
         assert first.generate() == second.generate()
 
 
+# ----------------------------------------------------------------------
+# mutation-interleaved fuzzing: INSERT/UPDATE/DELETE between queries
+# ----------------------------------------------------------------------
+MUTATION_SEEDS = (5, 17, 31)
+#: words inserted paragraphs draw their content from (short on purpose:
+#: the wordCount/largeParagraphs implication only covers the loader's
+#: original long paragraphs, so fuzz content stays far below the threshold)
+FUZZ_WORDS = TERMS + ("fuzz0001", "fuzz0002", "fuzz0003")
+
+
+class MutationFuzzer:
+    """Drives seeded INSERT/UPDATE/DELETE batches through the statement API
+    while keeping the document schema's invariants (inverse links, derived
+    largeParagraphs) intact, so the engines must stay differential."""
+
+    def __init__(self, connection, rng: random.Random):
+        self.connection = connection
+        self.database = connection.database
+        self.rng = rng
+        #: paragraphs created by the fuzzer (only these may be deleted or
+        #: have their content rewritten: loader paragraphs participate in
+        #: the derived largeParagraphs set)
+        self.pool: list = []
+
+    def _content(self) -> str:
+        count = self.rng.randint(2, 6)
+        return " ".join(self.rng.choice(FUZZ_WORDS) for _ in range(count))
+
+    def _sections(self) -> list:
+        return self.database.extension("Section")
+
+    def _link(self, section, oid) -> None:
+        paragraphs = set(self.database.value(section, "paragraphs") or set())
+        paragraphs.add(oid)
+        self.database.update(section, paragraphs=paragraphs)
+
+    def _unlink(self, section, oid) -> None:
+        paragraphs = set(self.database.value(section, "paragraphs") or set())
+        paragraphs.discard(oid)
+        self.database.update(section, paragraphs=paragraphs)
+
+    def insert_batch(self) -> None:
+        router = self.connection.router
+        rows = [{"n": self.rng.choice(NUMBERS),
+                 "s": self.rng.choice(self._sections()),
+                 "c": self._content()}
+                for _ in range(self.rng.randint(2, 8))]
+        result = router.executemany(
+            "INSERT INTO Paragraph (number, section, content) "
+            "VALUES (:n, :s, :c)", rows)
+        assert result.rowcount == len(rows)
+        for row, oid in zip(rows, result.oids):
+            self._link(row["s"], oid)  # maintain the inverse link
+            self.pool.append(oid)
+
+    def update_batch(self) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(
+            "UPDATE Paragraph p SET number = :n WHERE p.number == :m",
+            {"n": self.rng.choice(NUMBERS), "m": self.rng.choice(NUMBERS)})
+        if self.rng.random() < 0.5:
+            cursor.execute(
+                "UPDATE Section s SET number = s.number + 0 "
+                "WHERE s.number == :m", {"m": self.rng.choice(NUMBERS)})
+        live = [oid for oid in self.pool if self.database.exists(oid)]
+        if live:
+            cursor.execute(
+                "UPDATE Paragraph p SET content = :c WHERE p == :oid",
+                {"c": self._content(), "oid": self.rng.choice(live)})
+
+    def delete_batch(self) -> None:
+        live = [oid for oid in self.pool if self.database.exists(oid)]
+        self.rng.shuffle(live)
+        for oid in live[:self.rng.randint(0, 3)]:
+            self._unlink(self.database.value(oid, "section"), oid)
+            result = self.connection.cursor().execute(
+                "DELETE FROM Paragraph p WHERE p == :oid", {"oid": oid})
+            assert result.rowcount == 1
+
+    def mutate(self) -> None:
+        self.insert_batch()
+        self.update_batch()
+        self.delete_batch()
+
+
+def assert_value_index_consistent(database, class_name, prop) -> None:
+    """A hash/sorted index must mirror the deep extension exactly."""
+    index = database.indexes.get(class_name, prop)
+    expected: dict = {}
+    for oid in database.extension(class_name):
+        value = database.get(oid).get_or_none(prop)
+        if value is not None:
+            expected.setdefault(value, set()).add(oid)
+    assert len(index) == sum(len(oids) for oids in expected.values())
+    for value, oids in expected.items():
+        assert index.lookup(value) == oids, \
+            f"{class_name}.{prop} index diverges for key {value!r}"
+
+
+def assert_text_index_consistent(database, class_name, prop) -> None:
+    """The inverted index must agree with one rebuilt from the extension."""
+    from repro.datamodel.ir import InvertedTextIndex
+
+    engine = database.text_index(class_name, prop)
+    rebuilt = InvertedTextIndex()
+    for oid in database.extension(class_name):
+        content = database.get(oid).get_or_none(prop)
+        rebuilt.index_text(oid, str(content))
+    for term in FUZZ_WORDS + ("word0001", "Implementation"):
+        assert engine.retrieve(term) == rebuilt.retrieve(term), \
+            f"text index diverges for term {term!r}"
+
+
+def assert_partitions_consistent(database) -> None:
+    """Concatenated hash partitions must equal the extension, per class."""
+    for class_name in database.schema.class_names():
+        extension = Counter(database.extension(class_name))
+        partitions = Counter(
+            oid for part in database.extension_partitions(class_name)
+            for oid in part)
+        assert partitions == extension, \
+            f"partitions diverge from extension for {class_name}"
+
+
+@pytest.mark.parametrize("seed", MUTATION_SEEDS)
+def test_fuzz_mutations_interleaved_with_queries(seed):
+    """Seeded INSERT/UPDATE/DELETE interleavings between queries: engine
+    results stay multiset-identical and partitions / hash / sorted / text
+    indexes remain consistent with the extensions after every batch."""
+    from repro import connect
+
+    database = generate_document_database(n_documents=2)
+    knowledge = document_knowledge(database.schema)
+    connection = connect(database, knowledge=knowledge)
+    # extra index DDL through the statement API: plans over mutated data
+    # may now pick index access paths, which must stay maintained
+    connection.execute("CREATE SORTED INDEX ON Paragraph(number)")
+    connection.execute("CREATE HASH INDEX ON Section(number)")
+
+    sessions = {
+        "sequential": Session(database, knowledge=knowledge, parallelism=1),
+        "parallel": Session(database, knowledge=knowledge, parallelism=DEGREE),
+    }
+    rng = random.Random(seed)
+    fuzzer = MutationFuzzer(connection, rng)
+    generator = QueryGenerator(rng)
+
+    for _ in range(4):
+        fuzzer.mutate()
+
+        # structural consistency after the mutation batch
+        assert_value_index_consistent(database, "Paragraph", "number")
+        assert_value_index_consistent(database, "Section", "number")
+        assert_value_index_consistent(database, "Document", "title")
+        assert_text_index_consistent(database, "Paragraph", "content")
+        assert_partitions_consistent(database)
+
+        # differential queries over the mutated database: interpreter vs
+        # compiled vs prepared on naive/optimized/parallel/forced plans
+        for _ in range(4):
+            text, parameters = generator.generate()
+            run_one(text, parameters, database, sessions)
+
+        # the plan-cache-served cursor must agree with a fresh pipeline
+        text, parameters = generator.generate()
+        streamed = Counter(
+            make_hashable(value) for value in
+            connection.execute(text, parameters or None))
+        reference = Counter(
+            make_hashable(value) for value in
+            sessions["sequential"].execute(
+                text, parameters=parameters or None).values)
+        assert streamed == reference, \
+            f"cursor diverges after mutations: {text!r}"
+
+
 def test_parameters_reach_parallel_worker_threads(fuzz_db):
     """Bind parameters are thread-local; the parallel operators must
     propagate the caller's bindings into the morsel workers."""

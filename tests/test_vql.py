@@ -80,6 +80,31 @@ class TestLexer:
         assert from_token.line == 2
         assert from_token.column == 1
 
+    def test_lexer_error_reports_line_column_and_caret(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            tokenize("ACCESS p\nFROM p § C")
+        error = excinfo.value
+        assert error.line == 2 and error.column == 8
+        rendered = str(error)
+        assert "(line 2, column 8)" in rendered
+        # the caret snippet shows the offending source line with a marker
+        # under the offending column
+        assert "FROM p § C" in rendered
+        lines = rendered.splitlines()
+        caret_line = lines[-1]
+        source_line = lines[-2]
+        assert caret_line.strip() == "^"
+        assert caret_line.index("^") == source_line.index("§")
+
+    def test_unterminated_string_error_carries_caret(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            tokenize("ACCESS 'oops")
+        rendered = str(excinfo.value)
+        assert "(line 1, column 8)" in rendered
+        # snippet lines carry a two-space prefix; the caret sits under
+        # column 8 of the source line
+        assert rendered.splitlines()[-1].index("^") == 2 + 7
+
 
 class TestExpressionParser:
     def test_path_expression(self):
@@ -176,6 +201,28 @@ class TestQueryParser:
     def test_str_round_trip_parses_again(self):
         text = "ACCESS p FROM p IN Paragraph WHERE p.number == 1"
         assert parse_query(str(parse_query(text))) == parse_query(text)
+
+    def test_parser_error_reports_line_column_and_caret(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            parse_query("ACCESS p\nFORM p IN Paragraph")
+        error = excinfo.value
+        assert error.line == 2 and error.column == 1
+        rendered = str(error)
+        assert "(line 2, column 2)" in rendered or \
+            "(line 2, column 1)" in rendered
+        lines = rendered.splitlines()
+        assert lines[-2].endswith("FORM p IN Paragraph")
+        assert lines[-1].strip() == "^"
+
+    def test_parser_error_caret_points_at_offending_token(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            parse_query("ACCESS p FROM p IN Paragraph WHERE p.number ==")
+        rendered = str(excinfo.value)
+        # the error is at end-of-input: the caret sits one past the text
+        assert "expected expression" in rendered
+        # two-space snippet prefix + one-past-the-end caret column
+        assert rendered.splitlines()[-1].index("^") == 2 + len(
+            "ACCESS p FROM p IN Paragraph WHERE p.number ==")
 
 
 class TestAnalyzer:
