@@ -8,9 +8,11 @@ E1-E5), opens a ``connect()`` connection and runs the motivating query
     WHERE p->contains_string('Implementation')
     AND (p->document()).title == 'Query Optimization'
 
-through a streaming cursor, then exercises the write side of the language:
-``INSERT``/``UPDATE``/``DELETE`` and index DDL, all planned through the
-same optimizer as the reads.
+through a streaming cursor, then exercises the write side of the language
+(``INSERT``/``UPDATE``/``DELETE`` and index DDL, all planned through the
+same optimizer as the reads) and the statistics side: ``ANALYZE`` to feed
+the cost model measured histograms and method timings, and ``EXPLAIN
+ANALYZE`` to compare its estimates against per-operator actuals.
 
 To see which access path the optimizer chose, read the ``physical plan:``
 section of ``connection.explain(statement)`` (printed below) — its leaf
@@ -103,6 +105,26 @@ def main() -> None:
     deleted = connection.execute(
         "DELETE FROM Document d WHERE d.author == 'renamed'")
     print(f"DELETE removed {deleted.rowcount} documents")
+    print()
+
+    # ------------------------------------------------------------------
+    # statistics: ANALYZE + EXPLAIN ANALYZE
+    # ------------------------------------------------------------------
+    # Without statistics the cost model guesses flat selectivities.
+    # ANALYZE measures the data (histograms, distinct counts, most-common
+    # values, timed method costs) and evicts cached plans so the next
+    # execution re-optimizes against real numbers.
+    analyzed = connection.execute("ANALYZE")
+    print(f"ANALYZE refreshed {analyzed.rowcount} classes:")
+    print(analyzed.statement_report)
+    print()
+
+    # EXPLAIN ANALYZE executes the plan under per-operator instrumentation
+    # and reports estimated vs actual cardinalities — after ANALYZE the
+    # estimates should track the actuals closely.
+    print("EXPLAIN ANALYZE of an indexed equality query:")
+    print(connection.explain(
+        "ACCESS p FROM p IN Paragraph WHERE p.number == 3", analyze=True))
     print()
 
     # Serving the same query shape repeatedly: the connection's service

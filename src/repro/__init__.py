@@ -33,7 +33,7 @@ from repro.session import QueryResult, Session
 from repro.api.connection import Connection, Cursor, connect
 from repro.api.router import StatementResult
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "connect",

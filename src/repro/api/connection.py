@@ -91,11 +91,20 @@ class Connection:
         """Shorthand: ``connection.cursor().executemany(...)``."""
         return self.cursor().executemany(operation, parameter_sets)
 
-    def explain(self, operation: str, optimize: bool = True) -> str:
+    def explain(self, operation: str, optimize: bool = True,
+                analyze: bool = False,
+                parameters: ParameterValues = None) -> str:
         """Describe how *operation* would be evaluated (for UPDATE/DELETE:
-        the optimizer's plan for the WHERE clause)."""
+        the optimizer's plan for the WHERE clause).
+
+        ``analyze=True`` — equivalent to executing ``EXPLAIN ANALYZE
+        <operation>`` — additionally runs the plan under per-operator
+        instrumentation and reports estimated vs actual cardinalities;
+        *parameters* binds any placeholders for that run.
+        """
         self._check_open()
-        return self.router.explain(operation, optimize=optimize)
+        return self.router.explain(operation, optimize=optimize,
+                                   analyze=analyze, parameters=parameters)
 
     # ------------------------------------------------------------------
     # batch flush (commit-style)
@@ -205,6 +214,9 @@ class Cursor:
         self.description: Optional[tuple] = None
         self.rowcount: int = -1
         self.lastoid = None
+        #: the textual report of the last ANALYZE / EXPLAIN statement this
+        #: cursor executed (None for queries and plain DML/DDL)
+        self.statement_report: Optional[str] = None
         self._stream: Optional[RowStream] = None
         self._closed = False
 
@@ -249,9 +261,22 @@ class Cursor:
         self._finish(connection.router.executemany(analyzed, sets))
         return self
 
+    def explain(self, operation: str, optimize: bool = True,
+                analyze: bool = False,
+                parameters: ParameterValues = None) -> str:
+        """Describe (and with ``analyze=True`` profile) *operation* — see
+        :meth:`Connection.explain`."""
+        self._check_open()
+        return self.connection.explain(operation, optimize=optimize,
+                                       analyze=analyze, parameters=parameters)
+
     def _finish(self, result: StatementResult) -> None:
         self.rowcount = result.rowcount
         self.lastoid = result.lastoid
+        # Only ANALYZE/EXPLAIN produce a *report*; DDL results also carry a
+        # description (the echoed statement), which is not one.
+        if result.kind in ("analyze", "explain"):
+            self.statement_report = result.description or None
 
     def _reset(self) -> None:
         if self._stream is not None:
@@ -260,6 +285,7 @@ class Cursor:
         self.description = None
         self.rowcount = -1
         self.lastoid = None
+        self.statement_report = None
 
     # ------------------------------------------------------------------
     # fetching (streaming)

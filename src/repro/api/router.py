@@ -87,8 +87,7 @@ class StatementRouter:
 
     def __init__(self, database: Database,
                  run_query: QueryRunner,
-                 explain_query: Optional[Callable[[AnalyzedQuery, bool], str]]
-                 = None,
+                 explain_query: Optional[Callable[..., str]] = None,
                  write_guard: Optional[Callable[[], Any]] = None,
                  statement_cache_size: int = 256):
         self.database = database
@@ -155,6 +154,12 @@ class StatementRouter:
             return self._update(analyzed, parameters, optimize)
         if kind == "delete":
             return self._delete(analyzed, parameters, optimize)
+        if kind == "analyze":
+            return self._analyze_statistics(analyzed)
+        if kind == "explain":
+            report = self.explain(analyzed, optimize=optimize,
+                                  parameters=parameters)
+            return StatementResult(kind="explain", description=report)
         return self._ddl(analyzed, parameters)
 
     def executemany(self, statement: StatementInput,
@@ -186,26 +191,52 @@ class StatementRouter:
             f"executemany supports INSERT/UPDATE/DELETE, not "
             f"{analyzed.kind.upper()} statements")
 
-    def explain(self, statement: StatementInput, optimize: bool = True) -> str:
+    def explain(self, statement: StatementInput, optimize: bool = True,
+                analyze: bool = False,
+                parameters: ParameterValues = None) -> str:
         """Describe how *statement* would be evaluated.
 
         For UPDATE/DELETE the derived WHERE-query's plan is shown — this is
         where an indexed mutation predicate surfaces its
-        ``index_eq_scan``/``index_range_scan`` access path.
+        ``index_eq_scan``/``index_range_scan`` access path.  With
+        ``analyze=True`` (or an ``EXPLAIN ANALYZE ...`` statement) the plan
+        is additionally *executed* under per-operator instrumentation and
+        the report includes measured row counts and timings next to the
+        estimates; mutations never apply — only their WHERE-query runs.
         """
         analyzed = self.analyze(statement)
+        if analyzed.kind == "explain":
+            # ``EXPLAIN [ANALYZE] <stmt>``: unwrap to the target statement.
+            analyze = analyze or analyzed.statement.analyze
+            analyzed = analyzed.target
         if analyzed.kind == "select":
-            return self._explain(analyzed.query, optimize)
+            return self._explain(analyzed.query, optimize, analyze, parameters)
         if analyzed.kind in ("update", "delete"):
             header = (f"{analyzed.kind.upper()} {analyzed.class_name}: "
                       "WHERE clause planned as a query")
-            return header + "\n" + self._explain(analyzed.query, optimize)
+            return header + "\n" + self._explain(analyzed.query, optimize,
+                                                 analyze, parameters)
         return str(analyzed.statement)
 
-    def _explain(self, query: AnalyzedQuery, optimize: bool) -> str:
+    def _explain(self, query: AnalyzedQuery, optimize: bool,
+                 analyze: bool = False,
+                 parameters: ParameterValues = None) -> str:
         if self._explain_query is None:
             raise ServiceError("this router has no query explainer")
-        return self._explain_query(query, optimize)
+        return self._explain_query(query, optimize, analyze=analyze,
+                                   parameters=parameters)
+
+    def _analyze_statistics(self, analyzed: AnalyzedStatement
+                            ) -> StatementResult:
+        """Run ``ANALYZE [Class]``: refresh the statistics catalog under the
+        owner's write guard (statistics collection must not race DML) and
+        bump the stats version so cached plans re-optimize."""
+        with self._write_guard():
+            collected = self.database.analyze(analyzed.statement.class_name)
+        catalog = self.database.stats_catalog
+        return StatementResult(
+            kind="analyze", rowcount=len(collected),
+            description=catalog.describe())
 
     # ------------------------------------------------------------------
     # DML

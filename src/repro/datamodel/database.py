@@ -28,7 +28,11 @@ from repro.datamodel.schema import (
     PropertyDef,
     Schema,
 )
-from repro.datamodel.statistics import DatabaseStatistics
+from repro.datamodel.statistics import (
+    ClassStatistics,
+    DatabaseStatistics,
+    StatisticsCatalog,
+)
 from repro.errors import (
     MethodInvocationError,
     ObjectNotFoundError,
@@ -50,15 +54,20 @@ class VersionClock:
     * ``data`` — object creates and property writes.  Cached plans stay
       *correct* under data changes (all reads happen at execution time), so
       the cache treats this counter as a staleness signal for re-optimizing,
-      not a strict invalidator.
+      not a strict invalidator;
+    * ``stats`` — optimizer-statistics refreshes (the ``ANALYZE``
+      statement).  New statistics change cost estimates and therefore plan
+      choice, so the plan cache evicts on a mismatch exactly like it does
+      for index DDL.
     """
 
     schema: int = 0
     index: int = 0
     data: int = 0
+    stats: int = 0
 
-    def snapshot(self) -> tuple[int, int, int]:
-        return (self.schema, self.index, self.data)
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.schema, self.index, self.data, self.stats)
 
 
 class InvocationContext:
@@ -106,6 +115,9 @@ class Database:
         self.indexes = IndexRegistry()
         self._text_indexes: dict[tuple[str, str], InvertedTextIndex] = {}
         self.statistics = DatabaseStatistics()
+        #: optimizer statistics (histograms, distinct counts, method
+        #: latencies) collected by ANALYZE and read by the cost model
+        self.stats_catalog = StatisticsCatalog()
         self.versions = VersionClock()
         self._context = InvocationContext(self)
 
@@ -138,6 +150,7 @@ class Database:
         self.partitions.add(class_name, oid)
         self.statistics.record_object_created()
         self.versions.data += 1
+        self._note_stats_mutation(class_name)
         self._index_new_object(class_name, oid, values)
         del class_def  # looked up only for existence checking
         return oid
@@ -243,7 +256,16 @@ class Database:
         finally:
             self.statistics.objects_created += len(created)
             self.versions.data += len(created)
+            self._note_stats_mutation(class_name, len(created))
         return created
+
+    def _note_stats_mutation(self, class_name: str, count: int = 1) -> None:
+        """Record statistics churn for *class_name* and its ancestors.
+
+        Class statistics cover the deep extension, so mutating a subclass
+        must stale its superclasses' histograms too."""
+        for owner in self._class_and_ancestors(class_name):
+            self.stats_catalog.note_mutation(owner, count)
 
     def _class_and_ancestors(self, class_name: str) -> Iterable[str]:
         current: Optional[str] = class_name
@@ -278,6 +300,7 @@ class Database:
         self.partitions.remove(class_name, oid)
         self.statistics.record_object_deleted()
         self.versions.data += 1
+        self._note_stats_mutation(class_name)
 
     def get(self, oid: OID) -> DatabaseObject:
         try:
@@ -333,6 +356,7 @@ class Database:
             self.statistics.record_property_write()
         self.partitions.record_write(class_name, oid)
         self.versions.data += 1
+        self._note_stats_mutation(class_name)
         for owner in self._class_and_ancestors(class_name):
             for prop, value in values.items():
                 index = self.indexes.get(owner, prop)
@@ -638,6 +662,25 @@ class Database:
     # ------------------------------------------------------------------
     # statistics helpers
     # ------------------------------------------------------------------
+    def analyze(self, class_name: Optional[str] = None,
+                **options: Any) -> list[ClassStatistics]:
+        """Refresh the optimizer-statistics catalog (the ``ANALYZE`` entry
+        point).
+
+        Collects per-class/per-property distribution statistics (and timed
+        per-method cost calibration) for *class_name*, or for every class
+        when omitted, then bumps ``versions.stats`` so the service layer's
+        plan cache re-optimizes every cached plan against the new estimates.
+        *options* are forwarded to
+        :meth:`~repro.datamodel.statistics.StatisticsCatalog.analyze`.
+        """
+        if class_name is not None and not self.schema.has_class(class_name):
+            raise SchemaError(f"unknown class {class_name!r}")
+        collected = self.stats_catalog.analyze(self, class_name=class_name,
+                                               **options)
+        self.versions.stats += 1
+        return collected
+
     def reset_statistics(self) -> None:
         """Reset all work counters (database plus external engines)."""
         self.statistics.reset()

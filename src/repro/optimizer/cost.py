@@ -1,20 +1,26 @@
-"""Cost model for physical plans.
+"""Statistics-driven cost model for physical plans.
 
 Algebraic optimization relies on equivalences *and* cost functions
 (Section 2.3); the paper stresses that — unlike attributes — methods do not
-have uniform access cost.  The model therefore charges:
+have uniform access cost.  The model therefore charges per-tuple
+scan/probe/projection work with small constants, per-invocation method
+costs, and one-time costs for set-valued expressions a plan evaluates once
+(e.g. ``Paragraph→retrieve_by_string`` in an :class:`ExpressionSetScan`).
 
-* per-tuple scan/probe/projection work with small constants,
-* per-invocation method costs taken from the schema's
-  :class:`~repro.datamodel.schema.MethodDef.cost_per_call` annotations
-  (external methods are typically orders of magnitude more expensive than
-  internal path methods),
-* one-time costs for set-valued expressions that a plan evaluates once
-  (e.g. ``Paragraph→retrieve_by_string`` in an :class:`ExpressionSetScan`).
+Estimates are drawn from three tiers, best available wins:
 
-Cardinalities come from actual class-extension sizes, method result hints,
-and measured average fan-outs of set-valued properties when a database is
-available; otherwise documented defaults are used.
+1. **Measured statistics** — after ``ANALYZE``, the database's
+   :class:`~repro.datamodel.statistics.StatisticsCatalog` supplies
+   per-property equi-depth histograms, most-common values, distinct and
+   null counts (predicate/join selectivities), measured set-valued
+   fan-outs, and *timed* per-method cost calibration.  Stale statistics
+   (churn past the catalog's staleness threshold) are not consulted.
+2. **Live database state** — exact class-extension sizes, index distinct
+   keys, and sampled set-valued fan-outs, whenever a database is attached.
+3. **Documented defaults** — the flat constants below
+   (``DEFAULT_SELECTIVITY``, ``EQUALITY_SELECTIVITY``,
+   ``RANGE_SELECTIVITY``, schema ``cost_per_call`` annotations, ...),
+   used only when neither measurement is available.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.algebra.expressions import (
     Const,
     Expression,
     MethodCall,
+    Parameter,
     PropertyAccess,
     SetConstructor,
     TupleConstructor,
@@ -37,6 +44,7 @@ from repro.algebra.expressions import (
     walk,
 )
 from repro.datamodel.database import Database
+from repro.datamodel.statistics import PropertyStatistics
 from repro.datamodel.schema import MethodDef, Schema
 from repro.datamodel.types import SetType
 from repro.errors import ReproError
@@ -62,10 +70,18 @@ from repro.physical.plans import (
     ProjectOp,
     SetProbeFilter,
     UnionOp,
+    walk_physical,
 )
 from repro.vql.analyzer import class_of_type
 
 __all__ = ["CostEstimate", "CostModel"]
+
+#: sentinel for comparison values unknown at planning time (bind parameters)
+_UNKNOWN_VALUE = object()
+
+#: comparison operators flipped so the property lands on the left side
+_FLIPPED_COMPARISON = {"==": "==", "!=": "!=",
+                       "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 @dataclass(frozen=True)
@@ -104,6 +120,8 @@ class CostModel:
     METHOD_PREDICATE_SELECTIVITY = 0.1
     #: number of objects sampled when measuring property fan-outs
     FANOUT_SAMPLE_SIZE = 200
+    #: bound on the cached ref→class maps (keys are candidate plan subtrees)
+    REF_CLASS_CACHE_LIMIT = 4096
     # parallel execution: fixed dispatch + ordered-merge cost per parallel
     # node, plus per-tuple morsel bookkeeping.  Only the *expression* work
     # (method evaluation) is divided by the degree — scan/emit/merge stay
@@ -116,8 +134,12 @@ class CostModel:
     def __init__(self, schema: Schema, database: Optional[Database] = None):
         self.schema = schema
         self.database = database
+        #: the ANALYZE-maintained statistics catalog (None without a
+        #: database; consulted per estimate so a refresh is picked up live)
+        self.catalog = getattr(database, "stats_catalog", None)
         self._fanout_cache: dict[tuple[str, str], float] = {}
         self._method_cache: dict[str, Optional[MethodDef]] = {}
+        self._ref_class_cache: dict[PhysicalOperator, dict[str, str]] = {}
 
     # ------------------------------------------------------------------
     # physical plan estimation
@@ -156,7 +178,8 @@ class CostModel:
         if isinstance(plan, Filter):
             inner = self.estimate(plan.input)
             per_tuple = self.expression_cost(plan.condition)
-            selectivity = self.condition_selectivity(plan.condition, inner.cardinality)
+            selectivity = self.condition_selectivity(plan.condition,
+                                                     inner.cardinality, plan)
             return CostEstimate(inner.cost + inner.cardinality * per_tuple,
                                 max(inner.cardinality * selectivity, 0.0))
 
@@ -175,7 +198,7 @@ class CostModel:
             right = self.estimate(plan.right)
             pairs = left.cardinality * right.cardinality
             per_pair = self.expression_cost(plan.condition)
-            selectivity = self.condition_selectivity(plan.condition, pairs)
+            selectivity = self.condition_selectivity(plan.condition, pairs, plan)
             return CostEstimate(left.cost + right.cost + pairs * max(per_pair, self.COMPARISON_COST),
                                 pairs * selectivity)
 
@@ -261,7 +284,8 @@ class CostModel:
                 selectivity = 1.0
             else:
                 per_tuple = self.expression_cost(plan.condition)
-                selectivity = self.condition_selectivity(plan.condition, size)
+                selectivity = self.condition_selectivity(plan.condition, size,
+                                                         plan)
             cost = (self.PARALLEL_STARTUP_COST
                     + size * (self.TUPLE_SCAN_COST + self.PARALLEL_TUPLE_OVERHEAD)
                     + size * per_tuple / degree)
@@ -277,7 +301,8 @@ class CostModel:
                 selectivity = 1.0
             else:
                 per_tuple = self.expression_cost(plan.condition)
-                selectivity = self.condition_selectivity(plan.condition, matches)
+                selectivity = self.condition_selectivity(plan.condition,
+                                                         matches, plan)
             cost = (self.INDEX_LOOKUP_COST + self.PARALLEL_STARTUP_COST
                     + matches * (self.TUPLE_EMIT_COST + self.PARALLEL_TUPLE_OVERHEAD)
                     + matches * per_tuple / degree)
@@ -314,8 +339,20 @@ class CostModel:
     # ------------------------------------------------------------------
     def _index_eq_cardinality(self, plan: IndexEqScan) -> float:
         """Expected matches of an equality index lookup (shared by the
-        sequential and parallel scan estimates)."""
+        sequential and parallel scan estimates).
+
+        Preference order: histogram/most-common-value statistics for the
+        concrete key (captures skew), the index's average bucket size
+        (uniform assumption), then the flat equality default."""
         size = self.extension_size(plan.class_name)
+        stats = self.property_statistics(plan.class_name, plan.prop)
+        if stats is not None:
+            if isinstance(plan.key, Expression):
+                # Bind-parameter keys: value unknown, use the average bucket.
+                selectivity = stats.selectivity_unknown_eq()
+            else:
+                selectivity = stats.selectivity_eq(plan.key)
+            return max(size * selectivity, 1.0)
         cardinality = max(size * self.EQUALITY_SELECTIVITY, 1.0)
         index = (self.database.indexes.get(plan.class_name, plan.prop)
                  if self.database is not None else None)
@@ -324,12 +361,52 @@ class CostModel:
         return cardinality
 
     def _index_range_cardinality(self, plan: IndexRangeScan) -> float:
-        """Expected matches of a range index lookup."""
+        """Expected matches of a range index lookup (histogram-interpolated
+        when statistics are fresh, flat default otherwise)."""
         size = self.extension_size(plan.class_name)
+        stats = self.property_statistics(plan.class_name, plan.prop)
+        concrete = not (isinstance(plan.low, Expression)
+                        or isinstance(plan.high, Expression))
+        if stats is not None and concrete:
+            selectivity = stats.selectivity_range(plan.low, plan.high)
+            if selectivity is not None:
+                return max(size * selectivity, 1.0)
         selectivity = self.RANGE_SELECTIVITY
         if plan.low is not None and plan.high is not None:
             selectivity *= self.RANGE_SELECTIVITY
         return max(size * selectivity, 1.0)
+
+    def property_statistics(self, class_name: Optional[str],
+                            prop: str) -> Optional[PropertyStatistics]:
+        """Fresh ANALYZE statistics for ``class_name.prop``, or None."""
+        if class_name is None or self.catalog is None:
+            return None
+        class_stats = self.catalog.fresh(class_name)
+        if class_stats is None:
+            return None
+        return class_stats.property_statistics(prop)
+
+    def _ref_class_map(self, plan: PhysicalOperator) -> dict[str, str]:
+        """Map each reference produced by a scan below *plan* to its class.
+
+        This is what lets :meth:`condition_selectivity` resolve
+        ``a.prop == const`` against the statistics of the class *a* ranges
+        over.  References introduced by map/flatten are left unresolved
+        (their conditions fall back to the documented defaults)."""
+        cached = self._ref_class_cache.get(plan)
+        if cached is not None:
+            return cached
+        mapping: dict[str, str] = {}
+        for node in walk_physical(plan):
+            if isinstance(node, (ClassScan, IndexEqScan, IndexRangeScan)):
+                mapping.setdefault(node.ref, node.class_name)
+        # The cache keys whole candidate subtrees; one long-lived cost model
+        # (the service's) estimates unboundedly many shapes, so cap it — a
+        # reset only costs re-walking small plan trees.
+        if len(self._ref_class_cache) >= self.REF_CLASS_CACHE_LIMIT:
+            self._ref_class_cache.clear()
+        self._ref_class_cache[plan] = mapping
+        return mapping
 
     def extension_size(self, class_name: str) -> float:
         if self.database is not None:
@@ -355,10 +432,22 @@ class CostModel:
         return found
 
     def method_cost(self, method_name: str) -> float:
+        """Cost units per invocation: measured (ANALYZE-calibrated) when
+        available, the schema's ``cost_per_call`` annotation otherwise."""
+        if self.catalog is not None:
+            measured = self.catalog.method_statistics(method_name)
+            if measured is not None:
+                return measured.cost_units
         method = self.method_definition(method_name)
         return method.cost_per_call if method is not None else self.DEFAULT_METHOD_COST
 
     def method_result_cardinality(self, method_name: str) -> float:
+        """Result-set size per call: measured average first, then the
+        schema's cardinality hint, then the documented default."""
+        if self.catalog is not None:
+            measured = self.catalog.method_statistics(method_name)
+            if measured is not None and measured.avg_result_cardinality:
+                return max(measured.avg_result_cardinality, 1.0)
         method = self.method_definition(method_name)
         if method is None:
             return self.DEFAULT_METHOD_RESULT_CARD
@@ -369,8 +458,11 @@ class CostModel:
         return 1.0
 
     def property_fanout(self, class_name: str, prop: str) -> float:
-        """Average number of elements of a set-valued property, measured on
-        the database when possible."""
+        """Average number of elements of a set-valued property: ANALYZE
+        statistics first, live sampling otherwise."""
+        stats = self.property_statistics(class_name, prop)
+        if stats is not None and stats.avg_fanout is not None:
+            return max(stats.avg_fanout, 1.0)
         key = (class_name, prop)
         if key in self._fanout_cache:
             return self._fanout_cache[key]
@@ -472,32 +564,98 @@ class CostModel:
     # selectivity
     # ------------------------------------------------------------------
     def condition_selectivity(self, condition: Expression,
-                              input_cardinality: float) -> float:
-        """Fraction of tuples estimated to satisfy *condition*."""
+                              input_cardinality: float,
+                              source: Optional[PhysicalOperator] = None
+                              ) -> float:
+        """Fraction of tuples estimated to satisfy *condition*.
+
+        *source* is the physical subtree the condition filters (when known):
+        property comparisons against constants are then estimated from the
+        ANALYZE statistics of the class each reference scans, falling back
+        to the documented flat defaults when statistics are absent or stale.
+        """
         if isinstance(condition, Const):
             return 1.0 if condition.value else 0.0
         if isinstance(condition, BinaryOp):
             op = condition.op
             if op == "AND":
-                return (self.condition_selectivity(condition.left, input_cardinality)
-                        * self.condition_selectivity(condition.right, input_cardinality))
+                return (self.condition_selectivity(condition.left,
+                                                   input_cardinality, source)
+                        * self.condition_selectivity(condition.right,
+                                                     input_cardinality, source))
             if op == "OR":
-                left = self.condition_selectivity(condition.left, input_cardinality)
-                right = self.condition_selectivity(condition.right, input_cardinality)
+                left = self.condition_selectivity(condition.left,
+                                                  input_cardinality, source)
+                right = self.condition_selectivity(condition.right,
+                                                   input_cardinality, source)
                 return min(1.0, left + right - left * right)
-            if op == "==":
-                return self.EQUALITY_SELECTIVITY
-            if op in ("<", "<=", ">", ">="):
-                return 0.3
-            if op == "!=":
-                return 1.0 - self.EQUALITY_SELECTIVITY
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                return self._comparison_selectivity(condition, op, source)
             if op == "IS-IN":
                 member_card = self.expression_cardinality(condition.right)
                 return min(1.0, member_card / max(input_cardinality, 1.0))
             if op == "IS-SUBSET":
                 return self.DEFAULT_SELECTIVITY
         if isinstance(condition, UnaryOp) and condition.op == "NOT":
-            return 1.0 - self.condition_selectivity(condition.operand, input_cardinality)
+            return 1.0 - self.condition_selectivity(condition.operand,
+                                                    input_cardinality, source)
         if isinstance(condition, (MethodCall, ClassMethodCall)):
             return self.METHOD_PREDICATE_SELECTIVITY
         return self.DEFAULT_SELECTIVITY
+
+    def _comparison_selectivity(self, condition: BinaryOp, op: str,
+                                source: Optional[PhysicalOperator]) -> float:
+        """Selectivity of one comparison conjunct, statistics-driven when
+        the shape is ``ref.prop OP const`` over a scanned class."""
+        match = self._stats_for_comparison(condition, source)
+        if match is not None:
+            stats, value, oriented_op = match
+            if oriented_op == "==":
+                if value is _UNKNOWN_VALUE:
+                    return stats.selectivity_unknown_eq()
+                return min(stats.selectivity_eq(value), 1.0)
+            if oriented_op == "!=":
+                if value is _UNKNOWN_VALUE:
+                    return 1.0 - stats.selectivity_unknown_eq()
+                return max(1.0 - stats.selectivity_eq(value), 0.0)
+            if value is not _UNKNOWN_VALUE:
+                estimated = stats.selectivity_cmp(oriented_op, value)
+                if estimated is not None:
+                    return min(max(estimated, 0.0), 1.0)
+        # documented flat defaults
+        if op == "==":
+            return self.EQUALITY_SELECTIVITY
+        if op == "!=":
+            return 1.0 - self.EQUALITY_SELECTIVITY
+        return self.RANGE_SELECTIVITY
+
+    def _stats_for_comparison(self, condition: BinaryOp,
+                              source: Optional[PhysicalOperator]
+                              ) -> Optional[tuple[PropertyStatistics, object,
+                                                  str]]:
+        """Resolve ``ref.prop OP const`` (either orientation) to that
+        property's fresh statistics, the comparison value (``_UNKNOWN_VALUE``
+        for bind parameters) and the property-on-the-left operator."""
+        if source is None or self.catalog is None:
+            return None
+        ref_classes = self._ref_class_map(source)
+        if not ref_classes:
+            return None
+        orientations = (
+            (condition.left, condition.right, condition.op),
+            (condition.right, condition.left,
+             _FLIPPED_COMPARISON.get(condition.op, condition.op)),
+        )
+        for prop_side, value_side, oriented_op in orientations:
+            if not (isinstance(prop_side, PropertyAccess)
+                    and isinstance(prop_side.base, Var)):
+                continue
+            class_name = ref_classes.get(prop_side.base.name)
+            stats = self.property_statistics(class_name, prop_side.prop)
+            if stats is None:
+                continue
+            if isinstance(value_side, Const):
+                return stats, value_side.value, oriented_op
+            if isinstance(value_side, Parameter):
+                return stats, _UNKNOWN_VALUE, oriented_op
+        return None

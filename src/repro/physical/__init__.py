@@ -22,6 +22,12 @@ from repro.physical.plans import (
     UnionOp,
     walk_physical,
 )
+from repro.physical.profile import (
+    OperatorCounters,
+    PlanProfile,
+    estimated_vs_actual,
+    render_explain_analyze,
+)
 from repro.physical.restricted_exec import execute_restricted
 
 __all__ = [
@@ -50,4 +56,8 @@ __all__ = [
     "UnionOp",
     "DiffOp",
     "walk_physical",
+    "OperatorCounters",
+    "PlanProfile",
+    "estimated_vs_actual",
+    "render_explain_analyze",
 ]

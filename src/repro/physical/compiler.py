@@ -93,9 +93,15 @@ class ExpressionCompiler:
     """
 
     def __init__(self, database: Database,
-                 parameter_resolver: Callable[[str], Any] | None = None):
+                 parameter_resolver: Callable[[str], Any] | None = None,
+                 profile=None):
         self._database = database
         self._parameter_resolver = parameter_resolver
+        #: optional :class:`repro.physical.profile.PlanProfile` the engines
+        #: thread to their operator builders (the compiler itself never
+        #: consults it; it rides here because one compiler instance spans
+        #: exactly one plan build, the granularity profiling needs)
+        self.profile = profile
 
     # ------------------------------------------------------------------
     # public API

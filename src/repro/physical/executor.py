@@ -60,9 +60,16 @@ __all__ = ["execute_plan", "Row"]
 Row = dict[str, Any]
 
 
-def execute_plan(plan: PhysicalOperator, database: Database) -> list[Row]:
-    """Execute *plan* against *database* and return the result rows."""
-    compiler = ExpressionCompiler(database)
+def execute_plan(plan: PhysicalOperator, database: Database,
+                 profile=None) -> list[Row]:
+    """Execute *plan* against *database* and return the result rows.
+
+    *profile* (a :class:`repro.physical.profile.PlanProfile`) enables
+    per-operator row/open/elapsed instrumentation — the EXPLAIN ANALYZE
+    counters.  Profiling wraps every operator's iterator; work counters and
+    results are unaffected.
+    """
+    compiler = ExpressionCompiler(database, profile=profile)
     return list(_open(plan, database, compiler))
 
 
@@ -72,7 +79,10 @@ def _open(plan: PhysicalOperator, database: Database,
     builder = _BUILDERS.get(type(plan))
     if builder is None:
         raise ExecutionError(f"unknown physical operator {plan!r}")
-    return builder(plan, database, compiler)
+    iterator = builder(plan, database, compiler)
+    if compiler.profile is not None:
+        return compiler.profile.wrap(plan, iterator)
+    return iterator
 
 
 # ----------------------------------------------------------------------

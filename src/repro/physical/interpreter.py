@@ -24,6 +24,7 @@ set-coercion and index-lookup semantics are defined in exactly one place.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Any
 
@@ -63,7 +64,8 @@ Row = dict[str, Any]
 
 
 def execute_plan_interpreted(plan: PhysicalOperator,
-                             database: Database) -> list[Row]:
+                             database: Database,
+                             profile=None) -> list[Row]:
     """Execute *plan* against *database* interpretively (reference engine).
 
     Parallel operators are executed *sequentially* with identical semantics
@@ -72,8 +74,30 @@ def execute_plan_interpreted(plan: PhysicalOperator,
     parallel plan is differentially checked against.  ``ParallelMap`` and
     ``ParallelHashJoin`` need no cases of their own: their sequential
     semantics are exactly their parent operators', which the isinstance
-    dispatch below already covers.
+    dispatch in :func:`_interpret_node` already covers.
+
+    *profile* (a :class:`repro.physical.profile.PlanProfile`) enables the
+    per-operator EXPLAIN ANALYZE counters; since this engine materializes
+    rather than streams, each operator records its whole (inclusive)
+    evaluation in one step.
     """
+    return _interpret(plan, database, profile)
+
+
+def _interpret(plan: PhysicalOperator, database: Database,
+               profile) -> list[Row]:
+    """One recursion step: evaluate *plan*, recording counters if asked."""
+    if profile is None:
+        return _interpret_node(plan, database, profile)
+    started = time.perf_counter()
+    rows = _interpret_node(plan, database, profile)
+    profile.record(plan, len(rows), time.perf_counter() - started)
+    return rows
+
+
+def _interpret_node(plan: PhysicalOperator, database: Database,
+                    profile) -> list[Row]:
+    """The operator dispatch of the reference engine."""
     if isinstance(plan, ParallelScan):
         rows: list[Row] = []
         for partition in database.extension_partitions(plan.class_name):
@@ -124,12 +148,12 @@ def execute_plan_interpreted(plan: PhysicalOperator,
         return [{plan.ref: element} for element in _iterate_set(value, plan)]
 
     if isinstance(plan, Filter):
-        rows = execute_plan_interpreted(plan.input, database)
+        rows = _interpret(plan.input, database, profile)
         return [row for row in rows
                 if evaluate_predicate(plan.condition, row, database)]
 
     if isinstance(plan, SetProbeFilter):
-        rows = execute_plan_interpreted(plan.input, database)
+        rows = _interpret(plan.input, database, profile)
         members = {make_hashable(v)
                    for v in _iterate_set(
                        evaluate(plan.set_expression, {}, database), plan)}
@@ -137,8 +161,8 @@ def execute_plan_interpreted(plan: PhysicalOperator,
                 if make_hashable(row.get(plan.ref)) in members]
 
     if isinstance(plan, NestedLoopJoin):
-        left_rows = execute_plan_interpreted(plan.left, database)
-        right_rows = execute_plan_interpreted(plan.right, database)
+        left_rows = _interpret(plan.left, database, profile)
+        right_rows = _interpret(plan.right, database, profile)
         result: list[Row] = []
         for left_row in left_rows:
             for right_row in right_rows:
@@ -148,8 +172,8 @@ def execute_plan_interpreted(plan: PhysicalOperator,
         return result
 
     if isinstance(plan, HashJoin):
-        left_rows = execute_plan_interpreted(plan.left, database)
-        right_rows = execute_plan_interpreted(plan.right, database)
+        left_rows = _interpret(plan.left, database, profile)
+        right_rows = _interpret(plan.right, database, profile)
         table: dict[Any, list[Row]] = defaultdict(list)
         for right_row in right_rows:
             key = make_hashable(evaluate(plan.right_key, right_row, database))
@@ -162,8 +186,8 @@ def execute_plan_interpreted(plan: PhysicalOperator,
         return result
 
     if isinstance(plan, NaturalMergeJoin):
-        left_rows = execute_plan_interpreted(plan.left, database)
-        right_rows = execute_plan_interpreted(plan.right, database)
+        left_rows = _interpret(plan.left, database, profile)
+        right_rows = _interpret(plan.right, database, profile)
         common = plan.common_refs()
         if not common:
             # Degenerates to a cartesian product, as in the logical algebra.
@@ -180,12 +204,12 @@ def execute_plan_interpreted(plan: PhysicalOperator,
         return result
 
     if isinstance(plan, MapEval):
-        rows = execute_plan_interpreted(plan.input, database)
+        rows = _interpret(plan.input, database, profile)
         return [{**row, plan.ref: evaluate(plan.expression, row, database)}
                 for row in rows]
 
     if isinstance(plan, FlattenEval):
-        rows = execute_plan_interpreted(plan.input, database)
+        rows = _interpret(plan.input, database, profile)
         result = []
         for row in rows:
             value = evaluate(plan.expression, row, database)
@@ -194,17 +218,17 @@ def execute_plan_interpreted(plan: PhysicalOperator,
         return result
 
     if isinstance(plan, ProjectOp):
-        rows = execute_plan_interpreted(plan.input, database)
+        rows = _interpret(plan.input, database, profile)
         return _distinct([{ref: row.get(ref) for ref in plan.kept} for row in rows])
 
     if isinstance(plan, UnionOp):
-        left_rows = execute_plan_interpreted(plan.left, database)
-        right_rows = execute_plan_interpreted(plan.right, database)
+        left_rows = _interpret(plan.left, database, profile)
+        right_rows = _interpret(plan.right, database, profile)
         return _distinct(left_rows + right_rows)
 
     if isinstance(plan, DiffOp):
-        left_rows = execute_plan_interpreted(plan.left, database)
-        right_rows = execute_plan_interpreted(plan.right, database)
+        left_rows = _interpret(plan.left, database, profile)
+        right_rows = _interpret(plan.right, database, profile)
         right_keys = {make_hashable(row) for row in right_rows}
         return [row for row in _distinct(left_rows)
                 if make_hashable(row) not in right_keys]

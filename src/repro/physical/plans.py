@@ -49,6 +49,7 @@ __all__ = [
     "ParallelHashJoin",
     "PARALLEL_OPERATORS",
     "walk_physical",
+    "describe_physical_tree",
     "uses_parallelism",
 ]
 
@@ -558,6 +559,14 @@ def walk_physical(plan: PhysicalOperator):
     yield plan
     for child in plan.inputs():
         yield from walk_physical(child)
+
+
+def describe_physical_tree(plan: PhysicalOperator, depth: int = 0) -> str:
+    """Render the whole operator tree, one indented line per node."""
+    lines = ["  " * depth + plan.describe()]
+    for child in plan.inputs():
+        lines.append(describe_physical_tree(child, depth + 1))
+    return "\n".join(lines)
 
 
 def uses_parallelism(plan: PhysicalOperator) -> bool:

@@ -1,0 +1,157 @@
+"""Per-operator runtime instrumentation (the EXPLAIN ANALYZE substrate).
+
+A :class:`PlanProfile` collects, for every physical operator of one plan
+execution, how often the operator was opened, how many rows it produced,
+and how much wall-clock time was spent pulling those rows (*inclusive* of
+the operator's children, the conventional EXPLAIN ANALYZE accounting).
+
+All three execution engines thread an optional profile through their
+operator builders:
+
+* the compiled executor (:func:`repro.physical.executor.execute_plan`),
+* the prepared executables (:class:`repro.service.prepared.
+  PreparedExecutable`), and
+* the reference interpreter (:func:`repro.physical.interpreter.
+  execute_plan_interpreted`),
+
+so estimated-vs-actual reports can be produced for any plan on any engine.
+:func:`render_explain_analyze` renders the plan tree with the cost model's
+estimates next to the measured counters; :func:`estimated_vs_actual`
+returns the same comparison as structured records (the differential fuzz
+harness' sanity oracle).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.physical.plans import PhysicalOperator
+
+__all__ = ["OperatorCounters", "PlanProfile", "estimated_vs_actual",
+           "render_explain_analyze"]
+
+
+@dataclass
+class OperatorCounters:
+    """Measured execution counters of one physical operator."""
+
+    opens: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+
+class PlanProfile:
+    """Collects :class:`OperatorCounters` per operator of one plan.
+
+    Counters are keyed by operator *identity*: structurally equal operators
+    appearing at different positions of one plan keep separate counters as
+    long as they are distinct objects (which plan construction guarantees
+    for all practically occurring plans).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[int, tuple[PhysicalOperator,
+                                        OperatorCounters]] = {}
+
+    def counters_for(self, plan: PhysicalOperator) -> OperatorCounters:
+        """The (shared, mutable) counters of *plan*, created on first use."""
+        entry = self._counters.get(id(plan))
+        if entry is None:
+            entry = (plan, OperatorCounters())
+            self._counters[id(plan)] = entry
+        return entry[1]
+
+    def wrap(self, plan: PhysicalOperator,
+             iterator: Iterator[Any]) -> Iterator[Any]:
+        """Wrap *iterator* so rows and (inclusive) time are counted."""
+        counters = self.counters_for(plan)
+        counters.opens += 1
+        return self._count(iterator, counters)
+
+    @staticmethod
+    def _count(iterator: Iterator[Any],
+               counters: OperatorCounters) -> Iterator[Any]:
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                counters.seconds += time.perf_counter() - started
+                return
+            counters.seconds += time.perf_counter() - started
+            counters.rows += 1
+            yield row
+
+    def record(self, plan: PhysicalOperator, rows: int,
+               seconds: float) -> None:
+        """Record one materialized execution (the interpreter's accounting,
+        which produces whole row lists instead of streaming)."""
+        counters = self.counters_for(plan)
+        counters.opens += 1
+        counters.rows += rows
+        counters.seconds += seconds
+
+    def actual_rows(self, plan: PhysicalOperator) -> int:
+        """Rows *plan* produced (0 when it never ran)."""
+        entry = self._counters.get(id(plan))
+        return entry[1].rows if entry is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+
+def estimated_vs_actual(plan: PhysicalOperator, profile: PlanProfile,
+                        cost_model=None) -> list[dict]:
+    """Per-operator estimate/actual records, root first (pre-order).
+
+    Each record carries the operator description, the cost model's
+    estimated output cardinality (None without a cost model), and the
+    measured rows/opens/seconds.  ``ratio`` is ``max(est, actual) /
+    min(est, actual)`` with both sides clamped to at least one row — the
+    symmetric misestimation factor the sanity oracles bound.
+    """
+    records: list[dict] = []
+
+    def visit(node: PhysicalOperator, depth: int) -> None:
+        counters = profile.counters_for(node)
+        estimated: Optional[float] = None
+        ratio: Optional[float] = None
+        if cost_model is not None:
+            estimated = cost_model.estimate(node).cardinality
+            low = max(min(estimated, counters.rows), 1.0)
+            high = max(estimated, counters.rows, 1.0)
+            ratio = high / low
+        records.append({
+            "operator": node.describe(),
+            "depth": depth,
+            "estimated_rows": estimated,
+            "actual_rows": counters.rows,
+            "opens": counters.opens,
+            "seconds": counters.seconds,
+            "ratio": ratio,
+        })
+        for child in node.inputs():
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return records
+
+
+def render_explain_analyze(plan: PhysicalOperator, profile: PlanProfile,
+                           cost_model=None) -> str:
+    """Render the plan tree with estimated and measured counters per node."""
+    lines = []
+    for record in estimated_vs_actual(plan, profile, cost_model):
+        indent = "  " * record["depth"]
+        if record["estimated_rows"] is None:
+            estimate = ""
+        else:
+            estimate = f"  (estimated rows={record['estimated_rows']:.1f})"
+        lines.append(
+            f"{indent}{record['operator']}{estimate}  "
+            f"[actual rows={record['actual_rows']}, "
+            f"opens={record['opens']}, "
+            f"time={record['seconds'] * 1000.0:.3f}ms]")
+    return "\n".join(lines)

@@ -7,9 +7,11 @@ snapshot it was prepared under.  Lookups validate the snapshot against the
 database's :class:`~repro.datamodel.database.VersionClock` and the
 service's knowledge version:
 
-* ``schema`` / ``index`` / knowledge mismatches invalidate strictly — a
-  dropped index makes an index-scan plan unexecutable, new knowledge or
-  schema changes can change both the plan space and its validity;
+* ``schema`` / ``index`` / ``stats`` / knowledge mismatches invalidate
+  strictly — a dropped index makes an index-scan plan unexecutable, new
+  knowledge or schema changes can change both the plan space and its
+  validity, and refreshed ``ANALYZE`` statistics change cost estimates and
+  therefore which plan should have been chosen;
 * ``data`` drift invalidates lazily: prepared plans read all state at
   execution time and therefore stay *correct* under data changes, but the
   cost-based plan choice goes stale, so an entry is evicted once the number
@@ -73,6 +75,7 @@ class CachedPlan:
     schema_version: int
     index_version: int
     data_version: int
+    stats_version: int
     knowledge_version: int
     object_count: int
     prepare_seconds: float = 0.0
@@ -149,6 +152,8 @@ class PlanCache:
         if entry.schema_version != versions.schema:
             return False
         if entry.index_version != versions.index:
+            return False
+        if entry.stats_version != versions.stats:
             return False
         if entry.knowledge_version != knowledge_version:
             return False

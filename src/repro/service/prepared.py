@@ -107,14 +107,23 @@ class BindingEnv:
 
 
 class PreparedExecutable:
-    """A physical plan with all expressions compiled, ready to run."""
+    """A physical plan with all expressions compiled, ready to run.
 
-    def __init__(self, plan: PhysicalOperator, database: Database):
+    *profile* (a :class:`repro.physical.profile.PlanProfile`) enables the
+    per-operator EXPLAIN ANALYZE counters.  A profiled executable shares its
+    profile across runs (counters accumulate), so the service builds a fresh
+    instance per ``EXPLAIN ANALYZE`` instead of profiling cached plans.
+    """
+
+    def __init__(self, plan: PhysicalOperator, database: Database,
+                 profile=None):
         self.plan = plan
         self.database = database
+        self.profile = profile
         self._env = BindingEnv()
         compiler = ExpressionCompiler(database,
-                                      parameter_resolver=self._env.resolve)
+                                      parameter_resolver=self._env.resolve,
+                                      profile=profile)
         self._root = _build(plan, database, compiler, self._env)
 
     def run(self, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:
@@ -168,7 +177,15 @@ def _build(plan: PhysicalOperator, database: Database,
     builder = _BUILDERS.get(type(plan))
     if builder is None:
         raise ExecutionError(f"unknown physical operator {plan!r}")
-    return builder(plan, database, compiler, env)
+    source = builder(plan, database, compiler, env)
+    profile = compiler.profile
+    if profile is None:
+        return source
+
+    def profiled() -> Iterator[Row]:
+        return profile.wrap(plan, source())
+
+    return profiled
 
 
 def _class_scan(plan: ClassScan, database: Database,

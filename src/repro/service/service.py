@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence, Union
@@ -45,16 +46,32 @@ from repro.optimizer.search import OptimizationResult, OptimizerOptions
 from repro.physical.executor import Row
 from repro.physical.naive import naive_implementation
 from repro.physical.parallel import default_parallelism
+from repro.physical.plans import describe_physical_tree
+from repro.physical.profile import PlanProfile, render_explain_analyze
 from repro.service.cache import CachedPlan, PlanCache
 from repro.service.concurrency import ReadWriteLock
 from repro.service.fingerprint import cache_key, query_fingerprint
-from repro.service.prepared import prepare_plan
+from repro.service.prepared import PreparedExecutable, prepare_plan
 from repro.session import QueryResult
 from repro.vql.analyzer import AnalyzedQuery
 from repro.vql.bindings import ParameterValues, resolve_bindings
 
 __all__ = ["PreparedQuery", "QueryMetrics", "QueryService",
            "ServiceMetrics", "ServiceResult"]
+
+
+def _warn_legacy_index_ddl(alias: str, replacement: str) -> None:
+    """One deprecation warning per legacy per-kind index-DDL alias call.
+
+    The supported paths are the generic ``create_index``/``drop_index``
+    methods (or the VQL statements ``CREATE [HASH|SORTED|TEXT] INDEX`` /
+    ``DROP [TEXT] INDEX`` through any statement entry point); the per-kind
+    aliases survive one more release for source compatibility.
+    """
+    warnings.warn(
+        f"QueryService.{alias} is deprecated; use QueryService.{replacement} "
+        "or the CREATE/DROP INDEX statements instead",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -376,6 +393,7 @@ class QueryService:
         schema_version = versions.schema
         index_version = versions.index
         data_version = versions.data
+        stats_version = versions.stats
         object_count = self.database.object_count()
 
         started = time.perf_counter()
@@ -404,6 +422,7 @@ class QueryService:
             schema_version=schema_version,
             index_version=index_version,
             data_version=data_version,
+            stats_version=stats_version,
             knowledge_version=self._knowledge_version,
             object_count=object_count,
             prepare_seconds=prepare_seconds,
@@ -468,15 +487,25 @@ class QueryService:
 
     # legacy aliases for the generic index DDL above
     def create_hash_index(self, class_name: str, prop: str):
+        """Deprecated alias for ``create_index(..., kind="hash")``."""
+        _warn_legacy_index_ddl("create_hash_index", 'create_index(..., kind="hash")')
         return self.create_index(class_name, prop, kind="hash")
 
     def create_sorted_index(self, class_name: str, prop: str):
+        """Deprecated alias for ``create_index(..., kind="sorted")``."""
+        _warn_legacy_index_ddl("create_sorted_index",
+                               'create_index(..., kind="sorted")')
         return self.create_index(class_name, prop, kind="sorted")
 
     def create_text_index(self, class_name: str, prop: str):
+        """Deprecated alias for ``create_index(..., kind="text")``."""
+        _warn_legacy_index_ddl("create_text_index",
+                               'create_index(..., kind="text")')
         return self.create_index(class_name, prop, kind="text")
 
     def drop_text_index(self, class_name: str, prop: str) -> None:
+        """Deprecated alias for ``drop_index(..., text=True)``."""
+        _warn_legacy_index_ddl("drop_text_index", "drop_index(..., text=True)")
         self.drop_index(class_name, prop, text=True)
 
     # ------------------------------------------------------------------
@@ -534,23 +563,54 @@ class QueryService:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
-    def explain(self, text: str, optimize: bool = True) -> str:
+    def explain(self, text: str, optimize: bool = True,
+                analyze: bool = False,
+                parameters: ParameterValues = None) -> str:
         """Describe how *text* would be evaluated (preparing it if needed).
 
         For UPDATE/DELETE statements this explains the derived WHERE-query,
         which is where an indexed mutation predicate shows its index access
-        path.
+        path.  With ``analyze=True`` (or ``EXPLAIN ANALYZE ...`` text) the
+        plan additionally runs under per-operator instrumentation and the
+        report compares estimated with actual cardinalities.
         """
-        return self.router.explain(text, optimize=optimize)
+        return self.router.explain(text, optimize=optimize, analyze=analyze,
+                                   parameters=parameters)
 
     def _explain_analyzed(self, analyzed: AnalyzedQuery,
-                          optimize: bool = True) -> str:
+                          optimize: bool = True, analyze: bool = False,
+                          parameters: ParameterValues = None) -> str:
         statement = self._prepared_for(analyzed, optimize)
         with self._gate.read_locked():
             entry, _ = self._entry_for(statement)
         if entry.optimization is not None:
-            return entry.optimization.explain()
-        return f"naive plan:\n{entry.physical_plan.describe()}"
+            report = entry.optimization.explain()
+        else:
+            report = ("naive plan:\n"
+                      + describe_physical_tree(entry.physical_plan, depth=1))
+        if analyze:
+            report += "\n" + self._runtime_profile(entry, parameters)
+        return report
+
+    def _runtime_profile(self, entry: CachedPlan,
+                         parameters: ParameterValues) -> str:
+        """Run the cached plan's shape under instrumentation.
+
+        A *fresh* profiled executable is built from the entry's physical
+        plan (cached executables stay unprofiled — the counters are
+        per-diagnostic, not per-cache-entry), and executed under the read
+        gate like any query.
+        """
+        bindings = resolve_bindings(entry.analyzed.parameters, parameters)
+        profile = PlanProfile()
+        executable = PreparedExecutable(entry.physical_plan, self.database,
+                                        profile=profile)
+        with self._gate.read_locked():
+            rows = executable.run(bindings)
+        report = render_explain_analyze(entry.physical_plan, profile,
+                                        cost_model=self._optimizer.cost_model)
+        indented = "\n".join("  " + line for line in report.splitlines())
+        return f"runtime profile ({len(rows)} rows):\n{indented}"
 
     def __str__(self) -> str:
         return (f"QueryService({self.database}, {len(self.cache)} cached "

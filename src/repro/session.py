@@ -28,7 +28,9 @@ from repro.physical.evaluator import make_hashable
 from repro.physical.executor import Row, execute_plan
 from repro.physical.parallel import default_parallelism
 from repro.physical.naive import naive_implementation
-from repro.physical.plans import PhysicalOperator
+from repro.physical.plans import PhysicalOperator, describe_physical_tree
+from repro.physical.profile import PlanProfile, render_explain_analyze
+from repro.service.prepared import PreparedExecutable
 from repro.vql.analyzer import AnalyzedQuery, analyze_query
 from repro.vql.ast import Query
 from repro.vql.bindings import ParameterValues, bind_query, resolve_bindings
@@ -197,15 +199,29 @@ class Session:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
-    def explain(self, query: QueryLike) -> str:
-        """Describe how the statement would be evaluated, without executing
-        it (for UPDATE/DELETE: the plan of the derived WHERE-query)."""
+    def explain(self, query: QueryLike, optimize: bool = True,
+                analyze: bool = False,
+                parameters: ParameterValues = None) -> str:
+        """Describe how the statement would be evaluated (for
+        UPDATE/DELETE: the plan of the derived WHERE-query).
+
+        With ``analyze=True`` — or an ``EXPLAIN ANALYZE <stmt>`` text — the
+        plan is *executed* under per-operator instrumentation and the
+        report shows estimated vs actual cardinalities plus per-operator
+        row/open/elapsed counters (mutations never apply; only their
+        WHERE-query runs).  ``parameters`` binds the statement's
+        placeholders for such an instrumented run.
+        """
         if isinstance(query, Query):
-            return self._explain_analyzed(analyze_query(query, self.schema))
-        return self.router.explain(query)
+            return self._explain_analyzed(analyze_query(query, self.schema),
+                                          optimize=optimize, analyze=analyze,
+                                          parameters=parameters)
+        return self.router.explain(query, optimize=optimize, analyze=analyze,
+                                   parameters=parameters)
 
     def _explain_analyzed(self, analyzed: AnalyzedQuery,
-                          optimize: bool = True) -> str:
+                          optimize: bool = True, analyze: bool = False,
+                          parameters: ParameterValues = None) -> str:
         translation = translate_query(analyzed)
         lines = [
             "query:",
@@ -214,12 +230,37 @@ class Session:
             _indent(format_tree(translation.plan)),
         ]
         if optimize:
-            lines.append(self.optimizer.optimize(translation.plan).explain())
+            optimization = self.optimizer.optimize(translation.plan)
+            lines.append(optimization.explain())
+            physical = optimization.best_plan
         else:
             physical = naive_implementation(translation.plan)
             lines.append("naive physical plan:")
-            lines.append(_indent(physical.describe()))
+            lines.append(_indent(describe_physical_tree(physical)))
+        if analyze:
+            lines.append(self._runtime_profile(analyzed, physical, parameters))
         return "\n".join(lines)
+
+    def _runtime_profile(self, analyzed: AnalyzedQuery,
+                         physical: PhysicalOperator,
+                         parameters: ParameterValues) -> str:
+        """Execute *physical* — exactly the plan the report displays — under
+        instrumentation (EXPLAIN ANALYZE).
+
+        The plan may carry unbound :class:`Parameter` leaves, so it runs as
+        a prepared executable with the resolved bindings active rather than
+        through the parameter-substituting one-shot pipeline (which could
+        re-optimize to a different plan than the one shown).
+        """
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        profile = PlanProfile()
+        executable = PreparedExecutable(physical, self.database,
+                                        profile=profile)
+        rows = executable.run(bindings)
+        report = render_explain_analyze(physical, profile,
+                                        cost_model=self.optimizer.cost_model)
+        return (f"runtime profile ({len(rows)} rows):\n"
+                f"{_indent(report)}")
 
     def trace(self, query: QueryLike, limit: Optional[int] = 50) -> str:
         """Render the optimization trace (the Section 7 demonstrator)."""

@@ -18,10 +18,12 @@ from repro.vql.analyzer import (
     resolve_class_references,
 )
 from repro.vql.ast import (
+    AnalyzeStatement,
     CreateClassStatement,
     CreateIndexStatement,
     DeleteStatement,
     DropIndexStatement,
+    ExplainStatement,
     InsertStatement,
     PropertySpec,
     Query,
@@ -56,6 +58,8 @@ __all__ = [
     "InsertStatement",
     "UpdateStatement",
     "DeleteStatement",
+    "AnalyzeStatement",
+    "ExplainStatement",
     "Token",
     "tokenize",
     "Parser",

@@ -50,10 +50,12 @@ from repro.datamodel.types import (
 )
 from repro.errors import MethodResolutionError, SchemaError, VQLAnalysisError
 from repro.vql.ast import (
+    AnalyzeStatement,
     CreateClassStatement,
     CreateIndexStatement,
     DeleteStatement,
     DropIndexStatement,
+    ExplainStatement,
     InsertStatement,
     Query,
     RangeDeclaration,
@@ -346,14 +348,16 @@ class AnalyzedStatement:
     """A resolved, type-checked statement ready for the router.
 
     ``kind`` is one of ``select``, ``insert``, ``update``, ``delete``,
-    ``create_class``, ``create_index``, ``drop_index``.  For selects,
-    ``query`` is the analyzed query; for UPDATE/DELETE it is the derived
-    *WHERE-query* (``ACCESS alias FROM alias IN Class WHERE cond``) which
-    the router plans through the full optimizer so mutations pick up index
-    access paths and bind parameters.  ``parameters`` lists every bind
-    parameter of the whole statement in first-occurrence order.  ``cache``
-    is scratch space for executors (compiled value getters, prepared
-    handles); it never affects statement semantics.
+    ``create_class``, ``create_index``, ``drop_index``, ``analyze``,
+    ``explain``.  For selects, ``query`` is the analyzed query; for
+    UPDATE/DELETE it is the derived *WHERE-query* (``ACCESS alias FROM
+    alias IN Class WHERE cond``) which the router plans through the full
+    optimizer so mutations pick up index access paths and bind parameters.
+    For ``explain``, ``target`` is the analyzed target statement.
+    ``parameters`` lists every bind parameter of the whole statement in
+    first-occurrence order.  ``cache`` is scratch space for executors
+    (compiled value getters, prepared handles); it never affects statement
+    semantics.
     """
 
     kind: str
@@ -362,6 +366,7 @@ class AnalyzedStatement:
     query: Optional[AnalyzedQuery] = None
     assignments: tuple[tuple[str, Expression], ...] = ()
     property_defs: tuple[PropertyDef, ...] = ()
+    target: Optional["AnalyzedStatement"] = None
     cache: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -408,6 +413,14 @@ def analyze_statement(statement: Statement, schema: Schema) -> AnalyzedStatement
     if isinstance(statement, DropIndexStatement):
         _check_index_target(statement.class_name, statement.prop, schema)
         return AnalyzedStatement(kind="drop_index", statement=statement)
+    if isinstance(statement, AnalyzeStatement):
+        if statement.class_name is not None:
+            _require_class(statement.class_name, schema)
+        return AnalyzedStatement(kind="analyze", statement=statement)
+    if isinstance(statement, ExplainStatement):
+        target = analyze_statement(statement.target, schema)
+        return AnalyzedStatement(kind="explain", statement=statement,
+                                 parameters=target.parameters, target=target)
     raise VQLAnalysisError(f"unsupported statement {statement!r}")
 
 

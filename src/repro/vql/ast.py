@@ -41,6 +41,8 @@ __all__ = [
     "InsertStatement",
     "UpdateStatement",
     "DeleteStatement",
+    "AnalyzeStatement",
+    "ExplainStatement",
     "DEFAULT_DML_ALIAS",
 ]
 
@@ -221,3 +223,40 @@ class DeleteStatement(Statement):
         if self.where is not None:
             text += f" WHERE {self.where}"
         return text
+
+
+@dataclass(frozen=True)
+class AnalyzeStatement(Statement):
+    """``ANALYZE [Class]`` — refresh the optimizer-statistics catalog.
+
+    Without a class name, statistics are collected for every class of the
+    schema.  The statement bumps the database's ``stats`` version, evicting
+    every cached plan so the next execution re-optimizes against the fresh
+    histograms and calibrated method costs.
+    """
+
+    class_name: Optional[str] = None
+
+    def __str__(self) -> str:
+        return ("ANALYZE" if self.class_name is None
+                else f"ANALYZE {self.class_name}")
+
+
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] <statement>`` — describe (and optionally run)
+    the target statement's plan.
+
+    Plain ``EXPLAIN`` renders the chosen plan without executing it; with
+    ``ANALYZE`` the plan is executed under per-operator instrumentation and
+    the report shows estimated next to actual cardinalities.  For
+    ``UPDATE``/``DELETE`` targets only the derived WHERE-query is planned
+    (and, under ``ANALYZE``, executed) — the mutation itself never applies.
+    """
+
+    target: Statement
+    analyze: bool = False
+
+    def __str__(self) -> str:
+        prefix = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{prefix} {self.target}"

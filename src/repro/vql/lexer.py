@@ -7,10 +7,11 @@ the method-call arrow (``->`` or the typographic ``→``), path dots, brackets,
 the comparison/arithmetic operators, bind-parameter markers
 (``?`` / ``?3`` positional, ``:name`` named — the ``:`` doubles as the tuple
 constructor separator, the parser disambiguates by context), and the plain
-``=`` used by ``UPDATE ... SET`` assignments.  The DDL/DML statement words
-(CREATE, INSERT, SET, ...) are deliberately *not* keywords — the statement
-parser matches them case-insensitively from identifier tokens so they stay
-usable as ordinary identifiers inside queries.
+``=`` used by ``UPDATE ... SET`` assignments.  The DDL/DML/utility
+statement words (CREATE, INSERT, SET, ANALYZE, EXPLAIN, ...) are
+deliberately *not* keywords — the statement parser matches them
+case-insensitively from identifier tokens so they stay usable as ordinary
+identifiers inside queries.
 """
 
 from __future__ import annotations

@@ -28,10 +28,12 @@ from repro.algebra.expressions import (
 from repro.errors import VQLSyntaxError
 from repro.vql.ast import (
     DEFAULT_DML_ALIAS,
+    AnalyzeStatement,
     CreateClassStatement,
     CreateIndexStatement,
     DeleteStatement,
     DropIndexStatement,
+    ExplainStatement,
     InsertStatement,
     PropertySpec,
     Query,
@@ -47,11 +49,13 @@ __all__ = ["parse_query", "parse_expression", "parse_statement", "Parser"]
 #: set-valued binary operators allowed in expressions (plan-level operators)
 _SET_OPS = {"INTERSECTION": "INTERSECT", "UNION": "UNION", "DIFFERENCE": "DIFF"}
 
-#: soft keywords introducing DDL/DML statements.  They are deliberately NOT
-#: lexer keywords: adding them there would steal ordinary identifiers
-#: (``update``, ``set``, ...) from existing queries, so the statement parser
-#: recognises them case-insensitively from IDENT tokens instead.
-_STATEMENT_WORDS = ("CREATE", "DROP", "INSERT", "UPDATE", "DELETE")
+#: soft keywords introducing DDL/DML/utility statements.  They are
+#: deliberately NOT lexer keywords: adding them there would steal ordinary
+#: identifiers (``update``, ``set``, ``analyze``, ...) from existing
+#: queries, so the statement parser recognises them case-insensitively from
+#: IDENT tokens instead.
+_STATEMENT_WORDS = ("CREATE", "DROP", "INSERT", "UPDATE", "DELETE",
+                    "ANALYZE", "EXPLAIN")
 
 
 def parse_query(text: str) -> Query:
@@ -199,9 +203,13 @@ class Parser:
                 return self._parse_update()
             if word == "DELETE":
                 return self._parse_delete()
+            if word == "ANALYZE":
+                return self._parse_analyze()
+            if word == "EXPLAIN":
+                return self._parse_explain()
         raise self._error(
-            "expected a statement (ACCESS, CREATE, DROP, INSERT, UPDATE "
-            "or DELETE)")
+            "expected a statement (ACCESS, CREATE, DROP, INSERT, UPDATE, "
+            "DELETE, ANALYZE or EXPLAIN)")
 
     def _parse_create(self) -> Statement:
         self.expect_word("CREATE")
@@ -311,6 +319,36 @@ class Parser:
         if self.accept_keyword("WHERE"):
             where = self.parse_expression()
         return DeleteStatement(class_name=class_name, alias=alias, where=where)
+
+    def _parse_analyze(self) -> AnalyzeStatement:
+        self.expect_word("ANALYZE")
+        class_name: Optional[str] = None
+        if self.current.kind == "IDENT":
+            class_name = self.advance().text
+        return AnalyzeStatement(class_name=class_name)
+
+    def _parse_explain(self) -> ExplainStatement:
+        self.expect_word("EXPLAIN")
+        analyze = False
+        # ``EXPLAIN ANALYZE <stmt>`` vs ``EXPLAIN ANALYZE [Class]``: the word
+        # after ANALYZE decides — a statement opener means the ANALYZE was
+        # the profiling modifier, anything else makes it the target.
+        if self.check_word("ANALYZE"):
+            follower = self.tokens[self.index + 1]
+            opens_statement = follower.is_keyword("ACCESS") or (
+                follower.kind == "IDENT"
+                and follower.text.upper() in _STATEMENT_WORDS)
+            if opens_statement or follower.kind == "EOF":
+                if follower.kind == "EOF":
+                    # ``EXPLAIN ANALYZE`` alone explains the ANALYZE statement
+                    self.advance()
+                    return ExplainStatement(target=AnalyzeStatement())
+                self.advance()
+                analyze = True
+        target = self.parse_statement()
+        if isinstance(target, ExplainStatement):
+            raise self._error("EXPLAIN cannot be nested")
+        return ExplainStatement(target=target, analyze=analyze)
 
     # ------------------------------------------------------------------
     # grammar: expressions (precedence climbing)

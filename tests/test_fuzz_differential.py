@@ -280,6 +280,57 @@ def test_generator_is_deterministic():
 
 
 # ----------------------------------------------------------------------
+# statistics-enabled differential + the EXPLAIN ANALYZE sanity oracle
+# ----------------------------------------------------------------------
+def test_fuzz_with_statistics_stays_identical_and_estimates_sane():
+    """ANALYZE must never change results, and profiled executions must
+    report internally consistent counters with sane (finite, non-negative)
+    estimates; the root operator's actual rows must equal the result size.
+    """
+    import math
+
+    from repro.physical.profile import PlanProfile, estimated_vs_actual
+
+    database = generate_document_database(n_documents=2)
+    knowledge = document_knowledge(database.schema)
+    flat = Session(database, knowledge=knowledge, parallelism=1)
+    baselines = {}
+    generator = QueryGenerator(random.Random(101))
+    cases = [generator.generate() for _ in range(40)]
+
+    for text, parameters in cases:
+        result = flat.execute(text, parameters=parameters or None)
+        baselines[text] = multiset(result.rows)
+
+    database.analyze()  # histograms + calibrated method costs from here on
+    informed = Session(database, knowledge=knowledge, parallelism=1)
+
+    non_trivial = 0
+    for text, parameters in cases:
+        bound = Session._bind(informed.analyze(text), parameters or None)
+        translation = translate_query(bound)
+        plan = informed.optimizer.optimize(translation.plan).best_plan
+        profile = PlanProfile()
+        rows = execute_plan(plan, database, profile=profile)
+        assert multiset(rows) == baselines[text], \
+            f"statistics changed the result of: {text!r}"
+
+        records = estimated_vs_actual(plan, profile,
+                                      informed.optimizer.cost_model)
+        root = records[0]
+        assert root["actual_rows"] == len(rows)
+        for record in records:
+            assert record["estimated_rows"] >= 0.0
+            assert math.isfinite(record["estimated_rows"])
+            assert record["actual_rows"] >= 0
+            assert record["opens"] >= 1
+            assert record["seconds"] >= 0.0
+        if len(rows) > 0:
+            non_trivial += 1
+    assert non_trivial >= 4  # the corpus must not degenerate to empty results
+
+
+# ----------------------------------------------------------------------
 # mutation-interleaved fuzzing: INSERT/UPDATE/DELETE between queries
 # ----------------------------------------------------------------------
 MUTATION_SEEDS = (5, 17, 31)

@@ -123,7 +123,7 @@ def test_creating_an_index_evicts_and_improves_the_plan():
     assert not any(isinstance(node, IndexEqScan)
                    for node in walk_physical(before.plan.physical_plan))
 
-    service.create_hash_index("Paragraph", "number")
+    service.create_index("Paragraph", "number", kind="hash")
     after = assert_matches_fresh_session(
         service, NUMBER_QUERY, [2],
         "ACCESS p FROM p IN Paragraph WHERE p.number == 2")
@@ -136,7 +136,7 @@ def test_creating_an_index_evicts_and_improves_the_plan():
 def test_dropping_an_index_evicts_the_index_plan():
     database = fresh_database()
     service = fresh_service(database)
-    service.create_hash_index("Paragraph", "number")
+    service.create_index("Paragraph", "number", kind="hash")
     indexed = service.execute(NUMBER_QUERY, [2])
     assert any(isinstance(node, IndexEqScan)
                for node in walk_physical(indexed.plan.physical_plan))
@@ -436,7 +436,7 @@ def test_plan_cache_invalidation_during_concurrent_parallel_execution():
 
     service.run_concurrent(requests, workers=4)
     # index DDL between batches strictly invalidates the cached plan …
-    service.create_hash_index("Paragraph", "number")
+    service.create_index("Paragraph", "number", kind="hash")
     invalidations_before = service.cache.statistics.invalidations
     results = service.run_concurrent(requests, workers=4)
     assert service.cache.statistics.invalidations > invalidations_before
@@ -464,7 +464,7 @@ def test_index_ddl_races_parallel_query_execution():
     def ddl_loop():
         try:
             for _ in range(25):
-                service.create_hash_index("Paragraph", "number")
+                service.create_index("Paragraph", "number", kind="hash")
                 service.drop_index("Paragraph", "number")
         except Exception as exc:  # pragma: no cover - surfaced below
             errors.append(exc)
@@ -500,6 +500,6 @@ def test_mixed_parallel_and_method_shapes_under_ddl_and_concurrency():
             expected = reference.execute(query, parameters=parameters)
             assert result.value_set() == expected.value_set()
         if round_number == 0:
-            service.create_sorted_index("Paragraph", "number")
+            service.create_index("Paragraph", "number", kind="sorted")
         elif round_number == 1:
             service.drop_index("Paragraph", "number")

@@ -1,0 +1,377 @@
+"""The statistics subsystem: histograms, ANALYZE, and the informed cost model.
+
+Covers the pieces end-to-end:
+
+* equi-depth histogram construction and selectivity interpolation,
+* per-property statistics (distinct counts, nulls, MCVs, fan-outs),
+* timed per-method cost calibration,
+* the ``ANALYZE`` statement (router dispatch, version bump, plan-cache
+  eviction),
+* incremental staleness under mutations,
+* the cost model's statistics-first/defaults-fallback discipline, including
+  the plan flip on skewed data that EXP-12 measures.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import connect, open_session
+from repro.datamodel.database import Database
+from repro.datamodel.schema import ClassDef, MethodDef, MethodKind, PropertyDef, Schema
+from repro.datamodel.statistics import (
+    EquiDepthHistogram,
+    StatisticsCatalog,
+)
+from repro.datamodel.types import INT, STRING, SetType
+from repro.errors import SchemaError, VQLAnalysisError
+from repro.optimizer.cost import CostModel
+from repro.workloads import generate_document_database
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def skewed_database(n: int = 2000, seed: int = 7,
+                    with_methods: bool = False) -> Database:
+    """Reading(category, score): 90% of categories share one value."""
+    schema = Schema("skewed")
+    reading = ClassDef(name="Reading")
+    reading.add_property(PropertyDef("category", STRING))
+    reading.add_property(PropertyDef("score", INT))
+    reading.add_property(PropertyDef("note", STRING))
+    if with_methods:
+        def slow(ctx, receiver):
+            time.sleep(0.002)
+            return ctx.value(receiver, "score")
+
+        def fast(ctx, receiver):
+            return ctx.value(receiver, "score")
+
+        reading.add_method(MethodDef("slow_score", return_type=INT,
+                                     kind=MethodKind.EXTERNAL,
+                                     implementation=slow))
+        reading.add_method(MethodDef("fast_score", return_type=INT,
+                                     implementation=fast))
+    schema.add_class(reading)
+    database = Database(schema)
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        category = ("common" if rng.random() < 0.9
+                    else f"rare{rng.randrange(9)}")
+        rows.append({"category": category, "score": rng.randrange(10_000),
+                     "note": None if i % 10 == 0 else f"note {i}"})
+    database.create_many("Reading", rows)
+    return database
+
+
+# ----------------------------------------------------------------------
+# histograms
+# ----------------------------------------------------------------------
+class TestEquiDepthHistogram:
+    def test_uniform_range_interpolates_linearly(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)), buckets=10)
+        assert histogram is not None
+        assert abs(histogram.fraction_leq(499) - 0.5) < 0.05
+        assert histogram.fraction_leq(-1) == 0.0
+        assert histogram.fraction_leq(9999) == 1.0
+
+    def test_equi_depth_buckets_follow_skew(self):
+        # 90% of the mass at value 5: the buckets concentrate there, so a
+        # range above it is priced near 10%, not near 50%.
+        values = [5] * 900 + list(range(100, 200))
+        histogram = EquiDepthHistogram.build(values, buckets=10)
+        assert histogram.selectivity_cmp(">", 50) <= 0.15
+
+    def test_range_selectivity_combines_bounds(self):
+        histogram = EquiDepthHistogram.build(list(range(100)), buckets=10)
+        selectivity = histogram.selectivity_range(25, 74)
+        assert 0.35 < selectivity < 0.65
+
+    def test_unorderable_values_build_nothing(self):
+        assert EquiDepthHistogram.build([True, False, True]) is None
+        assert EquiDepthHistogram.build(["a", 1, "b"]) is None
+        assert EquiDepthHistogram.build([1]) is None
+
+
+# ----------------------------------------------------------------------
+# catalog collection
+# ----------------------------------------------------------------------
+class TestCatalogCollection:
+    def test_analyze_collects_per_property_statistics(self):
+        database = skewed_database(n=500)
+        database.analyze()
+        stats = database.stats_catalog.fresh("Reading")
+        assert stats is not None and stats.row_count == 500
+
+        category = stats.property_statistics("category")
+        assert category.distinct == 10
+        assert category.most_common[0][0] == "common"
+        assert category.most_common[0][1] > 400
+        assert category.selectivity_eq("common") > 0.8
+        assert category.selectivity_eq("rare0") < 0.1
+        # unseen value inside the domain: residual-uniform estimate
+        assert category.selectivity_eq("never-seen") < 0.05
+        # unseen value outside [min, max]: near-zero
+        assert category.selectivity_eq("zzz-out-of-range") < 0.01
+
+        score = stats.property_statistics("score")
+        assert score.histogram is not None
+        assert score.min_value >= 0 and score.max_value < 10_000
+
+        note = stats.property_statistics("note")
+        assert 0.05 < note.null_fraction < 0.15
+
+    def test_set_valued_fanout_is_measured(self, doc_database):
+        doc_database.stats_catalog.analyze(doc_database,
+                                           class_name="Document")
+        stats = doc_database.stats_catalog.fresh("Document")
+        sections = stats.property_statistics("sections")
+        assert sections.avg_fanout == pytest.approx(4.0)
+
+    def test_method_calibration_orders_slow_above_fast(self):
+        database = skewed_database(n=50, with_methods=True)
+        database.analyze()
+        catalog = database.stats_catalog
+        slow = catalog.method_statistics("slow_score")
+        fast = catalog.method_statistics("fast_score")
+        assert slow is not None and fast is not None
+        assert slow.avg_seconds >= 0.002
+        assert slow.cost_units > fast.cost_units
+        assert catalog.property_read_seconds > 0.0
+
+    def test_calibration_does_not_pollute_work_counters(self):
+        database = skewed_database(n=50, with_methods=True)
+        before = database.work_snapshot()["method_calls"]
+        database.analyze()
+        assert database.work_snapshot()["method_calls"] == before
+
+    def test_analyze_unknown_class_raises(self):
+        database = skewed_database(n=10)
+        with pytest.raises(SchemaError):
+            database.analyze("Nope")
+
+
+# ----------------------------------------------------------------------
+# incremental maintenance / staleness
+# ----------------------------------------------------------------------
+class TestStaleness:
+    def test_mutation_churn_marks_statistics_stale(self):
+        database = skewed_database(n=100)
+        database.analyze()
+        catalog = database.stats_catalog
+        assert catalog.fresh("Reading") is not None
+        for i in range(40):  # > 25% of 100 rows
+            database.create("Reading", category="new", score=i)
+        assert catalog.fresh("Reading") is None
+        # stale, not gone: the raw entry is still inspectable
+        assert catalog.class_statistics("Reading") is not None
+        database.analyze("Reading")
+        assert catalog.fresh("Reading") is not None
+
+    def test_subclass_churn_stales_superclass_statistics(self):
+        # Class statistics cover the deep extension, so bulk-loading a
+        # subclass must stop the superclass's histograms from being served.
+        database = generate_document_database(n_documents=2)
+        database.create_class("Memo", superclass="Document")
+        database.analyze()
+        catalog = database.stats_catalog
+        assert catalog.fresh("Document") is not None
+        memos = [{"title": f"memo {i}"} for i in range(5)]
+        database.create_many("Memo", memos)
+        assert catalog.mutations_since_analyze("Document") == 5
+        assert catalog.fresh("Document") is None  # 5 > 25% of 2 documents
+
+    def test_updates_and_deletes_count_as_churn(self):
+        database = skewed_database(n=20)
+        database.analyze()
+        oids = database.extension("Reading")
+        for oid in oids[:4]:
+            database.update(oid, score=1)
+        for oid in oids[4:8]:
+            database.delete(oid)
+        assert database.stats_catalog.mutations_since_analyze("Reading") == 8
+        assert database.stats_catalog.fresh("Reading") is None
+
+
+# ----------------------------------------------------------------------
+# the ANALYZE statement
+# ----------------------------------------------------------------------
+class TestAnalyzeStatement:
+    def test_analyze_statement_bumps_stats_version(self):
+        database = skewed_database(n=50)
+        connection = connect(database)
+        before = database.versions.stats
+        result = connection.execute("ANALYZE")
+        assert result.rowcount == 1  # one class analyzed
+        assert database.versions.stats == before + 1
+        assert "Reading" in result.statement_report
+
+    def test_analyze_single_class_and_unknown_class(self):
+        database = generate_document_database(n_documents=2)
+        connection = connect(database)
+        result = connection.execute("ANALYZE Paragraph")
+        assert result.rowcount == 1
+        assert database.stats_catalog.fresh("Paragraph") is not None
+        assert database.stats_catalog.fresh("Document") is None
+        with pytest.raises(VQLAnalysisError):
+            connection.execute("ANALYZE Nonsense")
+
+    def test_analyze_evicts_cached_plans(self):
+        database = skewed_database(n=50)
+        connection = connect(database)
+        service = connection.service
+        query = "ACCESS r FROM r IN Reading WHERE r.score >= 100"
+        connection.execute(query).fetchall()
+        connection.execute(query).fetchall()
+        hits_before = service.cache.statistics.hits
+        assert hits_before >= 1
+        connection.execute("ANALYZE")
+        connection.execute(query).fetchall()
+        assert service.cache.statistics.invalidations >= 1
+        # and the re-prepared plan is served again afterwards
+        connection.execute(query).fetchall()
+        assert service.cache.statistics.hits > hits_before
+
+    def test_statement_report_is_reserved_for_reports(self):
+        database = skewed_database(n=10)
+        connection = connect(database)
+        cursor = connection.cursor()
+        cursor.execute("CREATE INDEX ON Reading(category)")
+        assert cursor.statement_report is None  # DDL echo is not a report
+        cursor.execute("ANALYZE Reading")
+        assert "Reading" in cursor.statement_report
+        cursor.execute("INSERT INTO Reading (category, score) "
+                       "VALUES ('x', 1)")
+        assert cursor.statement_report is None
+
+    def test_analyze_through_session_and_run_query(self):
+        database = skewed_database(n=30)
+        session = open_session(database)
+        result = session.execute("ANALYZE Reading")
+        assert result.kind == "analyze"
+        assert database.stats_catalog.fresh("Reading") is not None
+
+
+# ----------------------------------------------------------------------
+# cost model integration
+# ----------------------------------------------------------------------
+class TestInformedCostModel:
+    def test_defaults_without_statistics(self):
+        database = skewed_database(n=100)
+        model = CostModel(database.schema, database)
+        from repro.vql.parser import parse_expression
+        condition = parse_expression("r.category == 'common'")
+        assert model.condition_selectivity(condition, 100.0) == \
+            model.EQUALITY_SELECTIVITY
+
+    def test_statistics_drive_filter_selectivity(self):
+        database = skewed_database(n=1000)
+        database.analyze()
+        model = CostModel(database.schema, database)
+        from repro.physical.plans import ClassScan, Filter
+        from repro.vql.parser import parse_expression
+        scan = ClassScan("r", "Reading")
+        common = Filter(parse_expression("r.category == 'common'"), scan)
+        rare = Filter(parse_expression("r.category == 'rare0'"), scan)
+        common_card = model.estimate(common).cardinality
+        rare_card = model.estimate(rare).cardinality
+        assert common_card > 800
+        assert rare_card < 50
+
+    def test_histogram_prices_range_predicates(self):
+        database = skewed_database(n=1000)
+        database.analyze()
+        model = CostModel(database.schema, database)
+        from repro.physical.plans import ClassScan, Filter
+        from repro.vql.parser import parse_expression
+        scan = ClassScan("r", "Reading")
+        narrow = Filter(parse_expression("r.score >= 9900"), scan)
+        wide = Filter(parse_expression("r.score >= 100"), scan)
+        assert model.estimate(narrow).cardinality < 50
+        assert model.estimate(wide).cardinality > 900
+
+    def test_skew_flips_the_chosen_access_path(self):
+        database = skewed_database(n=2000)
+        database.create_hash_index("Reading", "category")
+        database.create_sorted_index("Reading", "score")
+        session = open_session(database)
+        query = ("ACCESS r FROM r IN Reading "
+                 "WHERE r.category == 'common' AND r.score >= 9900")
+        flat_plan = session.optimize(query).best_plan
+        database.analyze()
+        informed_plan = session.optimize(query).best_plan
+
+        def leaf(plan):
+            node = plan
+            while node.inputs():
+                node = node.inputs()[0]
+            return node.name
+
+        assert leaf(flat_plan) == "index_eq_scan"
+        assert leaf(informed_plan) == "index_range_scan"
+        # differential: both plans agree on the result
+        from repro.physical.executor import execute_plan
+        assert ({r["r"] for r in execute_plan(flat_plan, database)}
+                == {r["r"] for r in execute_plan(informed_plan, database)})
+
+    def test_calibrated_method_cost_feeds_the_model(self):
+        database = skewed_database(n=30, with_methods=True)
+        model = CostModel(database.schema, database)
+        annotated = model.method_cost("slow_score")
+        database.analyze()
+        measured = model.method_cost("slow_score")
+        # the annotation said 1.0 (default); the measurement sees the sleep
+        assert annotated == 1.0
+        assert measured > 10.0
+        assert model.method_cost("fast_score") < measured
+
+    def test_stale_statistics_fall_back_to_defaults(self):
+        database = skewed_database(n=100)
+        database.analyze()
+        model = CostModel(database.schema, database)
+        from repro.physical.plans import ClassScan, Filter
+        from repro.vql.parser import parse_expression
+        plan = Filter(parse_expression("r.category == 'common'"),
+                      ClassScan("r", "Reading"))
+        informed = model.estimate(plan).cardinality
+        for i in range(60):
+            database.create("Reading", category="shift", score=i)
+        fallback_model = CostModel(database.schema, database)
+        stale = fallback_model.estimate(plan).cardinality
+        assert informed > 80
+        # back on the flat default: extension(160) * EQUALITY_SELECTIVITY
+        assert stale == pytest.approx(160 * CostModel.EQUALITY_SELECTIVITY)
+
+
+# ----------------------------------------------------------------------
+# deprecation of the legacy per-kind index DDL aliases
+# ----------------------------------------------------------------------
+class TestLegacyIndexDdlDeprecation:
+    def test_service_aliases_warn_but_work(self):
+        database = skewed_database(n=10)
+        from repro import open_service
+        service = open_service(database)
+        with pytest.deprecated_call():
+            service.create_hash_index("Reading", "category")
+        with pytest.deprecated_call():
+            service.create_sorted_index("Reading", "score")
+        assert database.indexes.get("Reading", "category") is not None
+        assert database.indexes.get("Reading", "score") is not None
+        with pytest.deprecated_call():
+            service.create_text_index("Reading", "note")
+        with pytest.deprecated_call():
+            service.drop_text_index("Reading", "note")
+
+    def test_generic_entry_point_does_not_warn(self, recwarn):
+        database = skewed_database(n=10)
+        from repro import open_service
+        service = open_service(database)
+        service.create_index("Reading", "category", kind="hash")
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
