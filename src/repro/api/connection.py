@@ -287,6 +287,18 @@ class Cursor:
         self.lastoid = None
         self.statement_report = None
 
+    @property
+    def statement_records(self) -> Optional[list]:
+        """Structured per-operator estimate/actual records of the last
+        ``EXPLAIN ANALYZE`` statement (None otherwise).
+
+        The report string in :attr:`statement_report` carries the records
+        it was rendered from (see
+        :class:`repro.physical.profile.ExplainReport`); this accessor saves
+        clients from parsing the text.
+        """
+        return getattr(self.statement_report, "records", None)
+
     # ------------------------------------------------------------------
     # fetching (streaming)
     # ------------------------------------------------------------------

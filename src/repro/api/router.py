@@ -41,6 +41,7 @@ from repro.datamodel.database import Database
 from repro.datamodel.oid import OID
 from repro.errors import ServiceError
 from repro.physical.evaluator import evaluate
+from repro.physical.profile import ExplainReport
 from repro.vql.analyzer import AnalyzedQuery, AnalyzedStatement, analyze_statement
 from repro.vql.ast import Statement
 from repro.vql.bindings import ParameterValues, resolve_bindings
@@ -214,8 +215,11 @@ class StatementRouter:
         if analyzed.kind in ("update", "delete"):
             header = (f"{analyzed.kind.upper()} {analyzed.class_name}: "
                       "WHERE clause planned as a query")
-            return header + "\n" + self._explain(analyzed.query, optimize,
-                                                 analyze, parameters)
+            report = self._explain(analyzed.query, optimize, analyze,
+                                   parameters)
+            # keep the structured records of the underlying query report
+            return ExplainReport(header + "\n" + report,
+                                 getattr(report, "records", None))
         return str(analyzed.statement)
 
     def _explain(self, query: AnalyzedQuery, optimize: bool,

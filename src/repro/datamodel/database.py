@@ -681,6 +681,15 @@ class Database:
         self.versions.stats += 1
         return collected
 
+    def note_stats_correction(self) -> None:
+        """Record that the feedback loop changed the statistics catalog.
+
+        Bumping ``versions.stats`` is what makes the plan cache's strict
+        version check fail for every plan optimized against the pre-feedback
+        estimates — the next execution replans with the corrected numbers.
+        """
+        self.versions.stats += 1
+
     def reset_statistics(self) -> None:
         """Reset all work counters (database plus external engines)."""
         self.statistics.reset()

@@ -288,6 +288,24 @@ class PropertyStatistics:
         return self.histogram.selectivity_range(low, high) * non_null_fraction
 
 
+@dataclass
+class CorrectionRecord:
+    """One feedback correction learned from a measured execution.
+
+    The adaptive re-optimization loop (see ``QueryService``) compares each
+    operator's estimated output cardinality with the profiled actual; when
+    the divergence exceeds its threshold, the *observed* selectivity is
+    recorded here so the next planning pass uses measured numbers instead of
+    the model's derivation.  ``key`` identifies the join class-pair or the
+    normalized per-class predicate the correction applies to."""
+
+    kind: str  # "join" | "predicate"
+    key: tuple
+    observed: float
+    estimated: float
+    updates: int = 1
+
+
 @dataclass(frozen=True)
 class MethodStatistics:
     """Measured latency (and result fan-out) of one zero-argument method."""
@@ -330,11 +348,23 @@ class StatisticsCatalog:
     documented defaults instead of trusting stale histograms.
     """
 
+    #: corrections are only re-recorded when the new observation differs
+    #: from the stored one by more than this ratio (prevents a plan that is
+    #: already corrected from oscillating on measurement noise)
+    MATERIAL_CHANGE_RATIO = 1.25
+    #: bound on stored corrections per kind (feedback is an override cache,
+    #: not an unbounded log)
+    MAX_CORRECTIONS = 256
+
     def __init__(self, staleness_fraction: float = 0.25):
         self.staleness_fraction = staleness_fraction
         self._classes: dict[str, ClassStatistics] = {}
         self._methods: dict[str, MethodStatistics] = {}
         self._mutations: Counter = Counter()
+        #: feedback corrections from the adaptive re-optimization loop;
+        #: keyed by join class-pair / normalized predicate identity
+        self._join_corrections: dict[tuple, CorrectionRecord] = {}
+        self._predicate_corrections: dict[tuple, CorrectionRecord] = {}
         #: measured seconds of one property read (method-cost calibration
         #: baseline); 0.0 until the first timed ANALYZE
         self.property_read_seconds: float = 0.0
@@ -367,6 +397,76 @@ class StatisticsCatalog:
         if churn > max(self.staleness_fraction * max(stats.row_count, 1), 1):
             return None
         return stats
+
+    # ------------------------------------------------------------------
+    # feedback corrections (adaptive re-optimization)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clamp_selectivity(value: float) -> Optional[float]:
+        """Clamp an observed selectivity into ``(0, 1]``; None when the
+        observation is not a usable number."""
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            return None
+        if value != value or value <= 0.0:  # NaN or degenerate
+            return None
+        return min(value, 1.0)
+
+    def _record_correction(self, store: dict, kind: str, key: tuple,
+                           observed: float, estimated: float) -> bool:
+        """Record an observed selectivity; True when it materially changed
+        the stored value (callers only invalidate plans on material change)."""
+        observed = self._clamp_selectivity(observed)
+        if observed is None:
+            return False
+        previous = store.get(key)
+        if previous is not None:
+            ratio = (max(previous.observed, observed)
+                     / max(min(previous.observed, observed), 1e-12))
+            if ratio <= self.MATERIAL_CHANGE_RATIO:
+                previous.updates += 1
+                return False
+        if previous is None and len(store) >= self.MAX_CORRECTIONS:
+            return False
+        updates = previous.updates + 1 if previous is not None else 1
+        store[key] = CorrectionRecord(kind=kind, key=key, observed=observed,
+                                      estimated=estimated, updates=updates)
+        return True
+
+    def record_join_correction(self, key: tuple, observed: float,
+                               estimated: float) -> bool:
+        """Record the measured selectivity of one join class-pair."""
+        return self._record_correction(self._join_corrections, "join", key,
+                                       observed, estimated)
+
+    def record_predicate_correction(self, key: tuple, observed: float,
+                                    estimated: float) -> bool:
+        """Record the measured selectivity of one per-class predicate."""
+        return self._record_correction(self._predicate_corrections,
+                                       "predicate", key, observed, estimated)
+
+    def join_correction(self, key: tuple) -> Optional[float]:
+        record = self._join_corrections.get(key)
+        return record.observed if record is not None else None
+
+    def predicate_correction(self, key: tuple) -> Optional[float]:
+        record = self._predicate_corrections.get(key)
+        return record.observed if record is not None else None
+
+    def correction_count(self) -> int:
+        return len(self._join_corrections) + len(self._predicate_corrections)
+
+    def corrections(self) -> list[CorrectionRecord]:
+        """All stored corrections (joins first), for EXPLAIN and tests."""
+        return (sorted(self._join_corrections.values(),
+                       key=lambda r: str(r.key))
+                + sorted(self._predicate_corrections.values(),
+                         key=lambda r: str(r.key)))
+
+    def clear_corrections(self) -> None:
+        self._join_corrections.clear()
+        self._predicate_corrections.clear()
 
     def method_statistics(self, method_name: str) -> Optional[MethodStatistics]:
         """Measured statistics for *method_name* (bare name, like the cost
@@ -414,8 +514,24 @@ class StatisticsCatalog:
             collected.append(stats)
             if time_methods:
                 self._calibrate_methods(database, name, method_samples)
+        # Fresh ground truth supersedes feedback learned against the old
+        # distributions: drop every correction that touches a re-analyzed
+        # class so the next plan trusts the newly collected statistics.
+        analyzed = set(names)
+        for store in (self._join_corrections, self._predicate_corrections):
+            for key in [k for k in store
+                        if self._correction_classes(k) & analyzed]:
+                del store[key]
         self.version += 1
         return collected
+
+    @staticmethod
+    def _correction_classes(key: tuple) -> set:
+        """Class names referenced by a correction key.  Keys are uniformly
+        tuples of ``(class_name, detail)`` pairs — join keys carry one pair
+        per side, predicate keys a single pair."""
+        return {part[0] for part in key
+                if isinstance(part, tuple) and part}
 
     def _collect_class(self, database: "Database", class_name: str,
                        histogram_buckets: int, sample_limit: int,
@@ -542,10 +658,16 @@ class StatisticsCatalog:
         """Human-readable catalog summary (used by ANALYZE's result)."""
         lines = [f"StatisticsCatalog(v{self.version}, "
                  f"{len(self._classes)} classes, "
-                 f"{len(self._methods)} timed methods)"]
+                 f"{len(self._methods)} timed methods, "
+                 f"{self.correction_count()} corrections)"]
         for name, stats in sorted(self._classes.items()):
             churn = self._mutations.get(name, 0)
             lines.append(f"  {name}: rows={stats.row_count}, "
                          f"properties={len(stats.properties)}, "
                          f"churn={churn}")
+        for record in self.corrections():
+            lines.append(f"  correction[{record.kind}] {record.key}: "
+                         f"estimated={record.estimated:.4g} -> "
+                         f"observed={record.observed:.4g} "
+                         f"(x{record.updates})")
         return "\n".join(lines)

@@ -55,6 +55,7 @@ from repro.physical.plans import (
     FlattenEval,
     HashJoin,
     IndexEqScan,
+    IndexNestedLoopJoin,
     IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
@@ -487,6 +488,33 @@ def _implement_join_hash(plan: LogicalOperator,
     return [HashJoin(left_key, right_key, children[0], children[1])]
 
 
+def _implement_join_index_nested(plan: LogicalOperator,
+                                 children: tuple[PhysicalOperator, ...],
+                                 ctx: RuleContext
+                                 ) -> Optional[Iterable[PhysicalOperator]]:
+    """Equi-join whose inner side is a bare class extension with an index on
+    the join property → per-outer-row index probe (the inner child plan is
+    discarded: the index replaces the scan)."""
+    if ctx.database is None or not isinstance(plan, Join):
+        return None
+    keys = _split_equi_condition(plan)
+    if keys is None:
+        return None
+    left_key, right_key = keys
+    inner = plan.right
+    if not isinstance(inner, Get):
+        return None
+    if not (isinstance(right_key, PropertyAccess)
+            and isinstance(right_key.base, Var)
+            and right_key.base.name == inner.ref):
+        return None
+    prop = right_key.prop
+    if ctx.database.indexes.get(inner.class_name, prop) is None:
+        return None
+    return [IndexNestedLoopJoin(left_key, inner.ref, inner.class_name,
+                                prop, children[0])]
+
+
 def _implement_natural_join(plan: LogicalOperator,
                             children: tuple[PhysicalOperator, ...],
                             _ctx: RuleContext) -> Optional[Iterable[PhysicalOperator]]:
@@ -725,6 +753,9 @@ def standard_implementations() -> list[CallableImplementationRule]:
          _implement_select_index_range),
         ("impl-join-nested-loop", "nested loop join", _implement_join_nested_loop),
         ("impl-join-hash", "hash join on equality keys", _implement_join_hash),
+        ("impl-join-index-nested",
+         "per-outer-row index probe of an indexed inner class",
+         _implement_join_index_nested),
         ("impl-natural-join", "natural join", _implement_natural_join),
         ("impl-map", "per-tuple expression evaluation", _implement_map),
         ("impl-flat", "per-tuple flattening", _implement_flat),

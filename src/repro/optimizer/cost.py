@@ -41,6 +41,8 @@ from repro.algebra.expressions import (
     TupleConstructor,
     UnaryOp,
     Var,
+    free_vars,
+    rename_vars,
     walk,
 )
 from repro.datamodel.database import Database
@@ -57,6 +59,7 @@ from repro.physical.plans import (
     FlattenEval,
     HashJoin,
     IndexEqScan,
+    IndexNestedLoopJoin,
     IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
@@ -202,6 +205,20 @@ class CostModel:
             return CostEstimate(left.cost + right.cost + pairs * max(per_pair, self.COMPARISON_COST),
                                 pairs * selectivity)
 
+        if isinstance(plan, IndexNestedLoopJoin):
+            left = self.estimate(plan.left)
+            inner_size = self.extension_size(plan.class_name)
+            selectivity = self.join_selectivity(
+                self.join_key_identity(plan.left_key, plan.left),
+                (plan.class_name, plan.prop),
+                left.cardinality, inner_size)
+            cardinality = left.cardinality * inner_size * selectivity
+            key_cost = self.expression_cost(plan.left_key)
+            probes = left.cardinality * (key_cost + self.INDEX_LOOKUP_COST)
+            return CostEstimate(
+                left.cost + probes + cardinality * self.TUPLE_EMIT_COST,
+                cardinality)
+
         if isinstance(plan, HashJoin):
             left = self.estimate(plan.left)
             right = self.estimate(plan.right)
@@ -209,7 +226,8 @@ class CostModel:
                         + self.expression_cost(plan.right_key)) / 2.0
             build = right.cardinality * (key_cost + self.HASH_BUILD_COST)
             probe = left.cardinality * (key_cost + self.PROBE_COST)
-            join_selectivity = 1.0 / max(left.cardinality, right.cardinality, 1.0)
+            join_selectivity = self._equi_join_selectivity(
+                plan, left.cardinality, right.cardinality)
             cardinality = left.cardinality * right.cardinality * join_selectivity
             return CostEstimate(left.cost + right.cost + build + probe, cardinality)
 
@@ -325,7 +343,8 @@ class CostModel:
             probe = left.cardinality * (key_cost / degree + self.PROBE_COST)
             overhead = ((left.cardinality + right.cardinality)
                         * self.PARALLEL_TUPLE_OVERHEAD)
-            join_selectivity = 1.0 / max(left.cardinality, right.cardinality, 1.0)
+            join_selectivity = self._equi_join_selectivity(
+                plan, left.cardinality, right.cardinality)
             cardinality = left.cardinality * right.cardinality * join_selectivity
             return CostEstimate(
                 left.cost + right.cost + self.PARALLEL_STARTUP_COST
@@ -398,7 +417,8 @@ class CostModel:
             return cached
         mapping: dict[str, str] = {}
         for node in walk_physical(plan):
-            if isinstance(node, (ClassScan, IndexEqScan, IndexRangeScan)):
+            if isinstance(node, (ClassScan, IndexEqScan, IndexRangeScan,
+                                 IndexNestedLoopJoin)):
                 mapping.setdefault(node.ref, node.class_name)
         # The cache keys whole candidate subtrees; one long-lived cost model
         # (the service's) estimates unboundedly many shapes, so cap it — a
@@ -561,6 +581,150 @@ class CostModel:
         return 1.0, None
 
     # ------------------------------------------------------------------
+    # join selectivity (shared by the strategy estimates and the join
+    # enumerator in repro.optimizer.joingraph)
+    # ------------------------------------------------------------------
+    def join_key_identity(self, key: Expression,
+                          source: PhysicalOperator
+                          ) -> Optional[tuple[str, Optional[str]]]:
+        """The ``(class_name, property-or-None)`` column an equi-join key
+        denotes, when the key is a bare scanned reference (identity join)
+        or a direct property of one — None for computed keys."""
+        ref_classes = self._ref_class_map(source)
+        if isinstance(key, Var):
+            class_name = ref_classes.get(key.name)
+            return (class_name, None) if class_name is not None else None
+        if isinstance(key, PropertyAccess) and isinstance(key.base, Var):
+            class_name = ref_classes.get(key.base.name)
+            return (class_name, key.prop) if class_name is not None else None
+        return None
+
+    @staticmethod
+    def join_correction_key(left_identity: tuple[str, Optional[str]],
+                            right_identity: tuple[str, Optional[str]]
+                            ) -> tuple:
+        """Order-independent catalog key for one join class-pair."""
+        return tuple(sorted((left_identity, right_identity),
+                            key=lambda pair: (pair[0], pair[1] or "")))
+
+    def join_selectivity(self,
+                         left_identity: Optional[tuple[str, Optional[str]]],
+                         right_identity: Optional[tuple[str, Optional[str]]],
+                         left_cardinality: float,
+                         right_cardinality: float) -> float:
+        """Selectivity of an equi-join between two key columns.
+
+        Preference order: a feedback correction recorded for the class
+        pair, NDV containment (``1 / max(ndv)``) refined by both sides'
+        most-common values when available (hot-key skew), then the legacy
+        ``1 / max(card)`` flat assumption when statistics are absent."""
+        if (left_identity is not None and right_identity is not None
+                and self.catalog is not None
+                and self.catalog.correction_count()):
+            override = self.catalog.join_correction(
+                self.join_correction_key(left_identity, right_identity))
+            if override is not None:
+                return override
+        left_ndv, left_stats = self._identity_ndv(left_identity)
+        right_ndv, right_stats = self._identity_ndv(right_identity)
+        if left_ndv is not None or right_ndv is not None:
+            if (left_stats is not None and right_stats is not None
+                    and left_stats.most_common and right_stats.most_common):
+                refined = self._mcv_join_selectivity(left_stats, right_stats)
+                if refined is not None:
+                    return refined
+            ndv = max(left_ndv or 1.0, right_ndv or 1.0, 1.0)
+            return min(1.0 / ndv, 1.0)
+        return 1.0 / max(left_cardinality, right_cardinality, 1.0)
+
+    def _identity_ndv(self, identity: Optional[tuple[str, Optional[str]]]
+                      ) -> tuple[Optional[float],
+                                 Optional[PropertyStatistics]]:
+        """Distinct-value count of one join key column (with its property
+        statistics when the key is a property), from fresh statistics."""
+        if identity is None or self.catalog is None:
+            return None, None
+        class_name, prop = identity
+        class_stats = self.catalog.fresh(class_name)
+        if class_stats is None:
+            return None, None
+        if prop is None:
+            # The key is the scanned object itself: every row is distinct.
+            return float(max(class_stats.row_count, 1)), None
+        stats = class_stats.property_statistics(prop)
+        if stats is None or stats.distinct <= 0:
+            return None, None
+        return float(stats.distinct), stats
+
+    @staticmethod
+    def _mcv_join_selectivity(left: PropertyStatistics,
+                              right: PropertyStatistics) -> Optional[float]:
+        """Join selectivity from both sides' most-common values: exact mass
+        on the matched hot keys, NDV containment on the residual tail."""
+        if left.row_count <= 0 or right.row_count <= 0:
+            return None
+        right_freq = {value: count / right.row_count
+                      for value, count in right.most_common}
+        matched = 0.0
+        for value, count in left.most_common:
+            frequency = right_freq.get(value)
+            if frequency:
+                matched += (count / left.row_count) * frequency
+        covered_left = sum(c for _, c in left.most_common) / left.row_count
+        covered_right = sum(c for _, c in right.most_common) / right.row_count
+        residual_ndv = max(left.distinct - len(left.most_common),
+                           right.distinct - len(right.most_common), 1)
+        residual = (max(1.0 - covered_left, 0.0)
+                    * max(1.0 - covered_right, 0.0) / residual_ndv)
+        return min(max(matched + residual, 1e-9), 1.0)
+
+    def _equi_join_selectivity(self, plan: HashJoin, left_cardinality: float,
+                               right_cardinality: float) -> float:
+        """Join selectivity of a hash join's key pair."""
+        return self.join_selectivity(
+            self.join_key_identity(plan.left_key, plan.left),
+            self.join_key_identity(plan.right_key, plan.right),
+            left_cardinality, right_cardinality)
+
+    # ------------------------------------------------------------------
+    # predicate corrections (adaptive feedback)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def predicate_correction_key(class_name: str, ref: str,
+                                 condition: Expression) -> tuple:
+        """Catalog key of a single-reference predicate: the class plus the
+        condition with its reference canonicalized (so the same predicate
+        matches across plans that name the range variable differently)."""
+        canonical = rename_vars(condition, {ref: "$self"})
+        return ((class_name, str(canonical)),)
+
+    def predicate_identity(self, condition: Expression,
+                           source: Optional[PhysicalOperator]
+                           ) -> Optional[tuple]:
+        """The correction key of *condition* when it constrains exactly one
+        scanned reference of *source*, else None."""
+        if source is None:
+            return None
+        refs = free_vars(condition)
+        if len(refs) != 1:
+            return None
+        (ref,) = tuple(refs)
+        class_name = self._ref_class_map(source).get(ref)
+        if class_name is None:
+            return None
+        return self.predicate_correction_key(class_name, ref, condition)
+
+    def _predicate_override(self, condition: Expression,
+                            source: Optional[PhysicalOperator]
+                            ) -> Optional[float]:
+        if self.catalog is None or not self.catalog.correction_count():
+            return None
+        key = self.predicate_identity(condition, source)
+        if key is None:
+            return None
+        return self.catalog.predicate_correction(key)
+
+    # ------------------------------------------------------------------
     # selectivity
     # ------------------------------------------------------------------
     def condition_selectivity(self, condition: Expression,
@@ -576,6 +740,9 @@ class CostModel:
         """
         if isinstance(condition, Const):
             return 1.0 if condition.value else 0.0
+        override = self._predicate_override(condition, source)
+        if override is not None:
+            return override
         if isinstance(condition, BinaryOp):
             op = condition.op
             if op == "AND":
@@ -622,6 +789,18 @@ class CostModel:
                 estimated = stats.selectivity_cmp(oriented_op, value)
                 if estimated is not None:
                     return min(max(estimated, 0.0), 1.0)
+        if op == "==" and source is not None:
+            # Equality between two scanned columns: an equi-join conjunct
+            # inside a nested-loop condition — estimate it with the same
+            # join selectivity the keyed join strategies use, so the cost
+            # model ranks strategies on cost, not on divergent cardinality.
+            left_identity = self.join_key_identity(condition.left, source)
+            right_identity = self.join_key_identity(condition.right, source)
+            if left_identity is not None and right_identity is not None:
+                return self.join_selectivity(
+                    left_identity, right_identity,
+                    self.extension_size(left_identity[0]),
+                    self.extension_size(right_identity[0]))
         # documented flat defaults
         if op == "==":
             return self.EQUALITY_SELECTIVITY

@@ -30,6 +30,7 @@ from repro.datamodel.database import Database
 from repro.datamodel.schema import Schema
 from repro.errors import OptimizerError
 from repro.optimizer.cost import CostEstimate, CostModel
+from repro.optimizer.joingraph import JoinOrder, enumerate_join_order
 from repro.optimizer.rules import RuleContext, RuleSet
 from repro.optimizer.statistics import OptimizerStatistics
 from repro.optimizer.trace import OptimizationTrace
@@ -50,6 +51,8 @@ class OptimizerOptions:
     enable_trace: bool = True
     #: trace also every costed implementation alternative (verbose)
     trace_implementations: bool = False
+    #: run the join-graph enumerator and seed its order into the search
+    join_seeding: bool = True
 
 
 @dataclass
@@ -63,6 +66,11 @@ class OptimizationResult:
     statistics: OptimizerStatistics
     trace: OptimizationTrace
     logical_alternatives: list[LogicalOperator] = field(default_factory=list)
+    #: the join enumerator's verdict (None when the plan has no reorderable
+    #: join region of three or more relations)
+    join_order: Optional[JoinOrder] = None
+    #: feedback corrections present in the statistics catalog at plan time
+    stats_corrections: int = 0
 
     def explain(self) -> str:
         """Multi-line description of the chosen plan and its cost."""
@@ -75,8 +83,13 @@ class OptimizationResult:
             "physical plan:",
             _indent(_format_physical(self.best_plan)),
             f"estimated {self.best_cost}",
-            str(self.statistics),
         ]
+        if self.join_order is not None:
+            lines.append(f"join order: {self.join_order.describe()}")
+            lines.append("join strategies: "
+                         + ", ".join(self.join_order.strategies))
+        lines.append(f"statistics corrections applied: {self.stats_corrections}")
+        lines.append(str(self.statistics))
         return "\n".join(lines)
 
 
@@ -126,7 +139,15 @@ class Optimizer:
                               parallelism=self.parallelism)
         started = time.perf_counter()
 
-        alternatives = self._explore(logical_plan, context, statistics, trace)
+        join_order = self._enumerate_join_order(logical_plan)
+        roots = [logical_plan]
+        if join_order is not None and join_order.seeded_plan != logical_plan:
+            # The seeded order is an additional exploration root: the rule
+            # closure and cost comparison treat it exactly like the parse
+            # order, so a bad enumeration can never make plans worse.
+            roots.append(join_order.seeded_plan)
+
+        alternatives = self._explore(roots, context, statistics, trace)
         statistics.logical_plans_explored = len(alternatives)
 
         best_plan: Optional[PhysicalOperator] = None
@@ -159,12 +180,26 @@ class Optimizer:
             original_logical=logical_plan,
             statistics=statistics,
             trace=trace,
-            logical_alternatives=list(alternatives))
+            logical_alternatives=list(alternatives),
+            join_order=join_order,
+            stats_corrections=(self.cost_model.catalog.correction_count()
+                               if self.cost_model.catalog is not None else 0))
+
+    def _enumerate_join_order(self, logical_plan: LogicalOperator
+                              ) -> Optional[JoinOrder]:
+        """Run the join-graph enumerator, or None when seeding is disabled,
+        no database is attached, or the plan is not reorderable."""
+        if not self.options.join_seeding or self.database is None:
+            return None
+        try:
+            return enumerate_join_order(logical_plan, self.cost_model)
+        except OptimizerError:
+            return None
 
     # ------------------------------------------------------------------
     # logical exploration
     # ------------------------------------------------------------------
-    def _explore(self, root: LogicalOperator, context: RuleContext,
+    def _explore(self, roots: list[LogicalOperator], context: RuleContext,
                  statistics: OptimizerStatistics,
                  trace: OptimizationTrace) -> list[LogicalOperator]:
         """Exhaustive closure of the transformation rules over whole plans.
@@ -176,10 +211,17 @@ class Optimizer:
         processed at most once, so keeping its entry would only grow the
         dict with every derived plan).
         """
-        seen: set[LogicalOperator] = {root}
-        ordered: list[LogicalOperator] = [root]
-        worklist: list[LogicalOperator] = [root]
-        once_history: dict[LogicalOperator, frozenset[str]] = {root: frozenset()}
+        seen: set[LogicalOperator] = set()
+        ordered: list[LogicalOperator] = []
+        worklist: list[LogicalOperator] = []
+        once_history: dict[LogicalOperator, frozenset[str]] = {}
+        for root in roots:
+            if root in seen:
+                continue
+            seen.add(root)
+            ordered.append(root)
+            worklist.append(root)
+            once_history[root] = frozenset()
         options = self.options
 
         while worklist:

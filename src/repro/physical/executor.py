@@ -40,6 +40,7 @@ from repro.physical.plans import (
     FlattenEval,
     HashJoin,
     IndexEqScan,
+    IndexNestedLoopJoin,
     IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
@@ -212,6 +213,19 @@ def _hash_join(plan: HashJoin, database: Database,
                 yield {**left_row, **right_row}
 
 
+def _index_nested_loop_join(plan: IndexNestedLoopJoin, database: Database,
+                            compiler: ExpressionCompiler) -> Iterator[Row]:
+    index = _require_index(plan, database)
+    left_key = compiler.compile(plan.left_key)
+    ref = plan.ref
+    statistics = database.statistics
+    for left_row in _open(plan.left, database, compiler):
+        statistics.record_index_lookup()
+        # OID-sorted probe result, matching IndexEqScan's deterministic order.
+        for oid in sorted(index.lookup(left_key(left_row))):
+            yield {**left_row, ref: oid}
+
+
 def _natural_merge_join(plan: NaturalMergeJoin, database: Database,
                         compiler: ExpressionCompiler) -> Iterator[Row]:
     common = plan.common_refs()
@@ -337,6 +351,7 @@ _BUILDERS = {
     FlattenEval: _flatten_eval,
     ProjectOp: _project,
     NestedLoopJoin: _nested_loop_join,
+    IndexNestedLoopJoin: _index_nested_loop_join,
     HashJoin: _hash_join,
     NaturalMergeJoin: _natural_merge_join,
     UnionOp: _union,

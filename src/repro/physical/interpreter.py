@@ -45,6 +45,7 @@ from repro.physical.plans import (
     FlattenEval,
     HashJoin,
     IndexEqScan,
+    IndexNestedLoopJoin,
     IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
@@ -169,6 +170,17 @@ def _interpret_node(plan: PhysicalOperator, database: Database,
                 combined = {**left_row, **right_row}
                 if evaluate_predicate(plan.condition, combined, database):
                     result.append(combined)
+        return result
+
+    if isinstance(plan, IndexNestedLoopJoin):
+        index = _require_index(plan, database)
+        left_rows = _interpret(plan.left, database, profile)
+        result = []
+        for left_row in left_rows:
+            key = evaluate(plan.left_key, left_row, database)
+            database.statistics.record_index_lookup()
+            for oid in sorted(index.lookup(key)):
+                result.append({**left_row, plan.ref: oid})
         return result
 
     if isinstance(plan, HashJoin):

@@ -35,6 +35,7 @@ __all__ = [
     "Filter",
     "SetProbeFilter",
     "NestedLoopJoin",
+    "IndexNestedLoopJoin",
     "HashJoin",
     "NaturalMergeJoin",
     "MapEval",
@@ -249,6 +250,42 @@ class NestedLoopJoin(PhysicalOperator):
 
     def describe(self) -> str:
         return f"nested_loop_join<{self.condition}>"
+
+
+@cached_hash
+@dataclass(frozen=True)
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Equi-join that probes a user-defined index per outer tuple.
+
+    For every tuple of *left*, evaluate *left_key* and look the value up in
+    the index on ``class_name.prop``; each matching instance extends the
+    tuple under *ref*.  This is the index-nested-loop strategy the join
+    enumerator emits when the inner side is a bare class extension with a
+    registered index on the join property — it reuses the same index
+    machinery as :class:`IndexEqScan`, just keyed per outer row."""
+
+    left_key: Expression
+    ref: str
+    class_name: str
+    prop: str
+    left: PhysicalOperator
+    name = "index_nested_loop_join"
+
+    def inputs(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left,)
+
+    def with_inputs(self, inputs: Sequence[PhysicalOperator]
+                    ) -> "IndexNestedLoopJoin":
+        (only,) = inputs
+        return IndexNestedLoopJoin(self.left_key, self.ref, self.class_name,
+                                   self.prop, only)
+
+    def refs(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.left.refs()) | {self.ref}))
+
+    def describe(self) -> str:
+        return (f"index_nested_loop_join<{self.left_key} == "
+                f"{self.ref}:{self.class_name}.{self.prop}>")
 
 
 @cached_hash

@@ -29,8 +29,27 @@ from typing import Any, Iterator, Optional
 
 from repro.physical.plans import PhysicalOperator
 
-__all__ = ["OperatorCounters", "PlanProfile", "estimated_vs_actual",
+__all__ = ["OperatorCounters", "PlanProfile", "ExplainReport",
+           "estimated_vs_actual", "divergent_operators",
            "render_explain_analyze"]
+
+
+class ExplainReport(str):
+    """The rendered text of an EXPLAIN / EXPLAIN ANALYZE, carrying the
+    structured per-operator records alongside.
+
+    A plain ``str`` subclass: every existing consumer (statement router,
+    cursors, tests comparing report text) keeps working unchanged, while
+    programmatic callers read ``.records`` — the
+    :func:`estimated_vs_actual` dict list — instead of parsing the text.
+    """
+
+    records: Optional[list[dict]]
+
+    def __new__(cls, text: str, records: Optional[list[dict]] = None):
+        report = super().__new__(cls, text)
+        report.records = records
+        return report
 
 
 @dataclass
@@ -137,6 +156,45 @@ def estimated_vs_actual(plan: PhysicalOperator, profile: PlanProfile,
 
     visit(plan, 0)
     return records
+
+
+def divergent_operators(plan: PhysicalOperator, profile: PlanProfile,
+                        cost_model, threshold: float = 10.0) -> list[dict]:
+    """Operators whose estimate diverged from the measurement by more than
+    *threshold* — the trigger records of the adaptive feedback loop.
+
+    Unlike :func:`estimated_vs_actual` the records carry the operator
+    *objects* (and the measured output rows of their children), which the
+    feedback loop needs to translate a divergence into a statistics
+    correction: an observed join selectivity is ``actual_out /
+    (actual_left × actual_right)`` and an observed filter selectivity is
+    ``actual_out / actual_in``.  Operators that never ran (opens == 0,
+    e.g. the inner build side of a short-circuited join) are skipped — a
+    zero actual against any estimate is starvation, not misestimation.
+    """
+    divergences: list[dict] = []
+
+    def visit(node: PhysicalOperator) -> None:
+        counters = profile.counters_for(node)
+        if counters.opens > 0:
+            estimated = cost_model.estimate(node).cardinality
+            low = max(min(estimated, counters.rows), 1.0)
+            high = max(estimated, counters.rows, 1.0)
+            ratio = high / low
+            if ratio > threshold:
+                divergences.append({
+                    "operator": node,
+                    "estimated_rows": estimated,
+                    "actual_rows": counters.rows,
+                    "ratio": ratio,
+                    "child_actual_rows": tuple(
+                        profile.actual_rows(child) for child in node.inputs()),
+                })
+        for child in node.inputs():
+            visit(child)
+
+    visit(plan)
+    return divergences
 
 
 def render_explain_analyze(plan: PhysicalOperator, profile: PlanProfile,

@@ -34,6 +34,7 @@ from repro.algebra.operators import LogicalOperator
 from repro.datamodel.database import Database
 from repro.optimizer.search import OptimizationResult
 from repro.physical.plans import PhysicalOperator
+from repro.physical.profile import PlanProfile
 from repro.service.prepared import PreparedExecutable
 from repro.vql.analyzer import AnalyzedQuery
 
@@ -81,6 +82,13 @@ class CachedPlan:
     prepare_seconds: float = 0.0
     optimize_seconds: float = 0.0
     executions: int = 0
+    #: armed profile watching the next execution for estimate/actual
+    #: divergence (None once consumed by the feedback check — the
+    #: executable is then swapped back to an uninstrumented build)
+    feedback_profile: Optional[PlanProfile] = None
+    #: the data version the profile was armed under; data drift past it
+    #: re-arms profiling so post-drift executions are watched again
+    feedback_data_version: int = 0
 
 
 class PlanCache:

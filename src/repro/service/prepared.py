@@ -49,6 +49,7 @@ from repro.physical.plans import (
     FlattenEval,
     HashJoin,
     IndexEqScan,
+    IndexNestedLoopJoin,
     IndexRangeScan,
     MapEval,
     NaturalMergeJoin,
@@ -163,9 +164,15 @@ class PreparedExecutable:
             self._env.restore(previous)
 
 
-def prepare_plan(plan: PhysicalOperator, database: Database) -> PreparedExecutable:
-    """Compile *plan* once for repeated execution against *database*."""
-    return PreparedExecutable(plan, database)
+def prepare_plan(plan: PhysicalOperator, database: Database,
+                 profile=None) -> PreparedExecutable:
+    """Compile *plan* once for repeated execution against *database*.
+
+    With *profile* the executable runs instrumented (see
+    :class:`PreparedExecutable`) — the service uses this to watch the first
+    execution of a plan for estimate/actual divergence.
+    """
+    return PreparedExecutable(plan, database, profile=profile)
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +380,26 @@ def _hash_join(plan: HashJoin, database: Database,
     return run
 
 
+def _index_nested_loop_join(plan: IndexNestedLoopJoin, database: Database,
+                            compiler: ExpressionCompiler,
+                            env: BindingEnv) -> Source:
+    left_key = compiler.compile(plan.left_key)
+    left_source = _build(plan.left, database, compiler, env)
+    ref = plan.ref
+
+    def run() -> Iterator[Row]:
+        # The index handle is resolved per execution (DDL between runs is
+        # guarded by the plan cache's index version, but stay defensive).
+        index = _require_index(plan, database)
+        statistics = database.statistics
+        for left_row in left_source():
+            statistics.record_index_lookup()
+            for oid in sorted(index.lookup(left_key(left_row))):
+                yield {**left_row, ref: oid}
+
+    return run
+
+
 def _natural_merge_join(plan: NaturalMergeJoin, database: Database,
                         compiler: ExpressionCompiler,
                         env: BindingEnv) -> Source:
@@ -576,6 +603,7 @@ _BUILDERS = {
     FlattenEval: _flatten_eval,
     ProjectOp: _project,
     NestedLoopJoin: _nested_loop_join,
+    IndexNestedLoopJoin: _index_nested_loop_join,
     HashJoin: _hash_join,
     NaturalMergeJoin: _natural_merge_join,
     UnionOp: _union,

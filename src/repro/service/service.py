@@ -38,6 +38,7 @@ from typing import Any, Iterable, Optional, Sequence, Union
 from repro.api.router import StatementRouter
 from repro.datamodel import ddl
 from repro.datamodel.database import Database
+from repro.datamodel.statistics import StatisticsCatalog
 from repro.errors import ServiceError
 from repro.algebra.translate import translate_query
 from repro.optimizer.generator import OptimizerGenerator
@@ -46,8 +47,11 @@ from repro.optimizer.search import OptimizationResult, OptimizerOptions
 from repro.physical.executor import Row
 from repro.physical.naive import naive_implementation
 from repro.physical.parallel import default_parallelism
-from repro.physical.plans import describe_physical_tree
-from repro.physical.profile import PlanProfile, render_explain_analyze
+from repro.physical.plans import (Filter, HashJoin, IndexNestedLoopJoin,
+                                  describe_physical_tree)
+from repro.physical.profile import (ExplainReport, PlanProfile,
+                                    divergent_operators, estimated_vs_actual,
+                                    render_explain_analyze)
 from repro.service.cache import CachedPlan, PlanCache
 from repro.service.concurrency import ReadWriteLock
 from repro.service.fingerprint import cache_key, query_fingerprint
@@ -118,10 +122,22 @@ class ServiceMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     statements_prepared: int = 0
+    #: plans rebuilt after an adaptive-feedback eviction (the replan side)
+    plans_reoptimized: int = 0
+    #: cache invalidations triggered by feedback corrections (the evict side)
+    feedback_evictions: int = 0
     total_execute_seconds: float = 0.0
     total_prepare_seconds: float = 0.0
     total_optimize_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_feedback_eviction(self) -> None:
+        with self._lock:
+            self.feedback_evictions += 1
+
+    def record_reoptimized(self) -> None:
+        with self._lock:
+            self.plans_reoptimized += 1
 
     def record(self, metrics: QueryMetrics) -> None:
         with self._lock:
@@ -141,6 +157,8 @@ class ServiceMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "statements_prepared": self.statements_prepared,
+                "plans_reoptimized": self.plans_reoptimized,
+                "feedback_evictions": self.feedback_evictions,
                 "hit_rate": (self.cache_hits / self.queries
                              if self.queries else 0.0),
                 "total_execute_seconds": self.total_execute_seconds,
@@ -199,8 +217,22 @@ class QueryService:
                  exclude_tags: Sequence[str] = (),
                  cache_capacity: int = 256,
                  reoptimize_fraction: float = 0.25,
-                 parallelism: Optional[int] = None):
+                 parallelism: Optional[int] = None,
+                 adaptive_feedback: bool = True,
+                 feedback_threshold: float = 10.0):
         self.database = database
+        #: adaptive re-optimization: profile the first execution of every
+        #: cost-based plan (and the first after data drift), and when an
+        #: operator's estimate diverges from the measurement by more than
+        #: ``feedback_threshold``×, write a correction into the statistics
+        #: catalog and replan.  Only armed once the database has ANALYZE
+        #: statistics — without them every estimate is a schema default and
+        #: corrections would chase noise.
+        self.adaptive_feedback = adaptive_feedback
+        self.feedback_threshold = feedback_threshold
+        #: fingerprints evicted by feedback, awaiting their replan (drained
+        #: into the ``plans_reoptimized`` counter by ``_prepare_entry``)
+        self._feedback_replans: set[str] = set()
         self.schema = database.schema
         self.knowledge = knowledge or SchemaKnowledge(self.schema)
         self._options = options
@@ -327,12 +359,14 @@ class QueryService:
 
         with self._gate.read_locked():
             entry, cache_hit = self._entry_for(statement)
+            self._rearm_feedback(entry)
             before = self.database.work_snapshot()
             run_started = time.perf_counter()
             rows = entry.executable.run(bindings)
             execute_seconds = time.perf_counter() - run_started
             after = self.database.work_snapshot()
         work = {key: after[key] - before.get(key, 0.0) for key in after}
+        self._maybe_apply_feedback(entry)
 
         metrics = QueryMetrics(
             fingerprint=entry.fingerprint,
@@ -407,8 +441,13 @@ class QueryService:
             physical = optimization.best_plan
         else:
             physical = naive_implementation(translation.plan)
-        executable = prepare_plan(physical, self.database)
+        profile = self._arm_feedback_profile(statement.optimize)
+        executable = prepare_plan(physical, self.database, profile=profile)
         prepare_seconds = time.perf_counter() - started
+
+        if statement.fingerprint in self._feedback_replans:
+            self._feedback_replans.discard(statement.fingerprint)
+            self.metrics.record_reoptimized()
 
         return CachedPlan(
             fingerprint=statement.fingerprint,
@@ -426,7 +465,139 @@ class QueryService:
             knowledge_version=self._knowledge_version,
             object_count=object_count,
             prepare_seconds=prepare_seconds,
-            optimize_seconds=optimize_seconds)
+            optimize_seconds=optimize_seconds,
+            feedback_profile=profile,
+            feedback_data_version=data_version)
+
+    # ------------------------------------------------------------------
+    # adaptive feedback re-optimization
+    # ------------------------------------------------------------------
+    def _arm_feedback_profile(self, optimize: bool) -> Optional[PlanProfile]:
+        """A fresh profile when the next execution should be watched for
+        estimate/actual divergence, else None (feedback off, naive plan, or
+        no ANALYZE statistics to correct)."""
+        if not self.adaptive_feedback or not optimize:
+            return None
+        catalog = getattr(self.database, "stats_catalog", None)
+        if catalog is None or not catalog.analyzed_classes():
+            return None
+        return PlanProfile()
+
+    def _rearm_feedback(self, entry: CachedPlan) -> None:
+        """Re-instrument a cached plan once data drifted past the version
+        its profile was armed under.
+
+        The plan cache tolerates drift below its re-optimize fraction, so a
+        plan can legitimately keep running while the data underneath it
+        changes — re-arming makes the first post-drift execution observable
+        again, which is what lets feedback catch drift-induced
+        misestimation the staleness heuristics let through."""
+        if entry.feedback_profile is not None or not entry.optimize:
+            return
+        if entry.feedback_data_version == self.database.versions.data:
+            return
+        profile = self._arm_feedback_profile(entry.optimize)
+        if profile is None:
+            return
+        entry.feedback_profile = profile
+        entry.feedback_data_version = self.database.versions.data
+        entry.executable = prepare_plan(entry.physical_plan, self.database,
+                                        profile=profile)
+
+    def _maybe_apply_feedback(self, entry: CachedPlan) -> None:
+        """Consume one profiled execution: feed material estimate/actual
+        divergences back into the statistics catalog and trigger a replan.
+
+        The armed profile is always consumed (the executable reverts to an
+        uninstrumented build, so steady-state executions pay no counter
+        overhead); when a divergent operator yields a material correction,
+        the stats version bump invalidates every plan optimized against the
+        pre-feedback estimates and the next execution replans."""
+        profile = entry.feedback_profile
+        if profile is None or len(profile) == 0:
+            return
+        entry.feedback_profile = None
+        entry.executable = prepare_plan(entry.physical_plan, self.database)
+        catalog = getattr(self.database, "stats_catalog", None)
+        if catalog is None:
+            return
+        cost_model = self._optimizer.cost_model
+        applied = False
+        for record in divergent_operators(entry.physical_plan, profile,
+                                          cost_model,
+                                          threshold=self.feedback_threshold):
+            applied = self._apply_correction(record, cost_model,
+                                             catalog) or applied
+        if applied:
+            self._feedback_replans.add(entry.fingerprint)
+            self.database.note_stats_correction()
+            self.metrics.record_feedback_eviction()
+
+    def _apply_correction(self, record: dict, cost_model, catalog) -> bool:
+        """Translate one divergent operator into a catalog correction.
+
+        Joins yield a class-pair selectivity (``actual_out / (actual_left ×
+        actual_right)``), filters a per-predicate selectivity (``actual_out
+        / actual_in``) — both computed against the children's *measured*
+        cardinalities, so a divergence inherited from a misestimated child
+        does not masquerade as a selectivity error here.  Returns True only
+        when the catalog accepted the correction as a material change."""
+        plan = record["operator"]
+        actual_out = record["actual_rows"]
+        if isinstance(plan, IndexNestedLoopJoin):
+            (left_actual,) = record["child_actual_rows"]
+            return self._join_correction(
+                cost_model, catalog,
+                cost_model.join_key_identity(plan.left_key, plan.left),
+                (plan.class_name, plan.prop),
+                actual_out, left_actual,
+                cost_model.extension_size(plan.class_name))
+        if isinstance(plan, HashJoin):  # covers ParallelHashJoin
+            left_actual, right_actual = record["child_actual_rows"]
+            return self._join_correction(
+                cost_model, catalog,
+                cost_model.join_key_identity(plan.left_key, plan.left),
+                cost_model.join_key_identity(plan.right_key, plan.right),
+                actual_out, left_actual, right_actual)
+        if isinstance(plan, Filter):
+            key = cost_model.predicate_identity(plan.condition, plan.input)
+            (input_actual,) = record["child_actual_rows"]
+            if key is None or input_actual <= 0:
+                return False
+            observed = actual_out / input_actual
+            estimated = cost_model.condition_selectivity(
+                plan.condition, float(input_actual), source=plan.input)
+            if self._immaterial(observed, estimated):
+                return False
+            return catalog.record_predicate_correction(key, observed,
+                                                       estimated)
+        return False
+
+    def _join_correction(self, cost_model, catalog, left_identity,
+                         right_identity, actual_out, left_actual,
+                         right_actual) -> bool:
+        if left_identity is None or right_identity is None:
+            return False
+        denominator = float(left_actual) * float(right_actual)
+        if denominator <= 0:
+            return False
+        observed = actual_out / denominator
+        estimated = cost_model.join_selectivity(
+            left_identity, right_identity,
+            float(left_actual), float(right_actual))
+        if self._immaterial(observed, estimated):
+            return False
+        key = cost_model.join_correction_key(left_identity, right_identity)
+        return catalog.record_join_correction(key, observed, estimated)
+
+    @staticmethod
+    def _immaterial(observed: float, estimated: float) -> bool:
+        """True when the observed selectivity already matches what the cost
+        model (including prior corrections) would predict — the operator's
+        divergence came from elsewhere in the plan, not this selectivity."""
+        low = max(min(observed, estimated), 1e-12)
+        high = max(observed, estimated, 1e-12)
+        return high / low <= StatisticsCatalog.MATERIAL_CHANGE_RATIO
 
     # ------------------------------------------------------------------
     # invalidation-triggering operations (writers)
@@ -588,18 +759,22 @@ class QueryService:
         else:
             report = ("naive plan:\n"
                       + describe_physical_tree(entry.physical_plan, depth=1))
+        records: Optional[list[dict]] = None
         if analyze:
-            report += "\n" + self._runtime_profile(entry, parameters)
-        return report
+            profile_text, records = self._runtime_profile(entry, parameters)
+            report += "\n" + profile_text
+        return ExplainReport(report, records)
 
     def _runtime_profile(self, entry: CachedPlan,
-                         parameters: ParameterValues) -> str:
+                         parameters: ParameterValues
+                         ) -> tuple[str, list[dict]]:
         """Run the cached plan's shape under instrumentation.
 
         A *fresh* profiled executable is built from the entry's physical
         plan (cached executables stay unprofiled — the counters are
         per-diagnostic, not per-cache-entry), and executed under the read
-        gate like any query.
+        gate like any query.  Returns the rendered report plus the
+        structured estimated-vs-actual records it was rendered from.
         """
         bindings = resolve_bindings(entry.analyzed.parameters, parameters)
         profile = PlanProfile()
@@ -607,10 +782,12 @@ class QueryService:
                                         profile=profile)
         with self._gate.read_locked():
             rows = executable.run(bindings)
+        records = estimated_vs_actual(entry.physical_plan, profile,
+                                      cost_model=self._optimizer.cost_model)
         report = render_explain_analyze(entry.physical_plan, profile,
                                         cost_model=self._optimizer.cost_model)
         indented = "\n".join("  " + line for line in report.splitlines())
-        return f"runtime profile ({len(rows)} rows):\n{indented}"
+        return f"runtime profile ({len(rows)} rows):\n{indented}", records
 
     def __str__(self) -> str:
         return (f"QueryService({self.database}, {len(self.cache)} cached "
@@ -637,7 +814,11 @@ class RowStream:
         self._gate = gate
         self._entry = entry
         self._bindings = bindings
-        self._iterator = entry.executable.open()
+        # Capture the executable: adaptive feedback may swap a fresh build
+        # into the cache entry mid-stream, and bindings must be activated
+        # on the same environment the open iterator reads from.
+        self._executable = entry.executable
+        self._iterator = self._executable.open()
         self._exhausted = False
         self._on_finish = on_finish
         self.output_ref = entry.output_ref
@@ -658,7 +839,7 @@ class RowStream:
         started = time.perf_counter()
         finished = False
         with self._gate.read_locked():
-            with self._entry.executable.binding_scope(self._bindings):
+            with self._executable.binding_scope(self._bindings):
                 for _ in range(n):
                     try:
                         rows.append(next(iterator))

@@ -29,7 +29,9 @@ from repro.physical.executor import Row, execute_plan
 from repro.physical.parallel import default_parallelism
 from repro.physical.naive import naive_implementation
 from repro.physical.plans import PhysicalOperator, describe_physical_tree
-from repro.physical.profile import PlanProfile, render_explain_analyze
+from repro.physical.profile import (ExplainReport, PlanProfile,
+                                    estimated_vs_actual,
+                                    render_explain_analyze)
 from repro.service.prepared import PreparedExecutable
 from repro.vql.analyzer import AnalyzedQuery, analyze_query
 from repro.vql.ast import Query
@@ -237,13 +239,16 @@ class Session:
             physical = naive_implementation(translation.plan)
             lines.append("naive physical plan:")
             lines.append(_indent(describe_physical_tree(physical)))
+        records = None
         if analyze:
-            lines.append(self._runtime_profile(analyzed, physical, parameters))
-        return "\n".join(lines)
+            profile_text, records = self._runtime_profile(analyzed, physical,
+                                                          parameters)
+            lines.append(profile_text)
+        return ExplainReport("\n".join(lines), records)
 
     def _runtime_profile(self, analyzed: AnalyzedQuery,
                          physical: PhysicalOperator,
-                         parameters: ParameterValues) -> str:
+                         parameters: ParameterValues) -> tuple[str, list]:
         """Execute *physical* — exactly the plan the report displays — under
         instrumentation (EXPLAIN ANALYZE).
 
@@ -257,10 +262,12 @@ class Session:
         executable = PreparedExecutable(physical, self.database,
                                         profile=profile)
         rows = executable.run(bindings)
+        records = estimated_vs_actual(physical, profile,
+                                      cost_model=self.optimizer.cost_model)
         report = render_explain_analyze(physical, profile,
                                         cost_model=self.optimizer.cost_model)
         return (f"runtime profile ({len(rows)} rows):\n"
-                f"{_indent(report)}")
+                f"{_indent(report)}"), records
 
     def trace(self, query: QueryLike, limit: Optional[int] = 50) -> str:
         """Render the optimization trace (the Section 7 demonstrator)."""

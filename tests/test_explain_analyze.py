@@ -198,6 +198,55 @@ class TestProfileEngines:
 
 
 # ----------------------------------------------------------------------
+# structured records riding on the report string
+# ----------------------------------------------------------------------
+class TestStructuredRecords:
+    def test_session_explain_carries_records(self, indexed_db):
+        session = open_session(indexed_db)
+        report = session.explain(INDEXED_QUERY, analyze=True)
+        assert isinstance(report, str)
+        records = report.records
+        assert records is not None and len(records) >= 1
+        root = records[0]
+        assert root["depth"] == 0
+        assert root["actual_rows"] == 16
+        assert root["estimated_rows"] is not None
+        # without analyze there is nothing measured to attach
+        assert session.explain(INDEXED_QUERY).records is None
+
+    def test_service_explain_carries_records(self, indexed_db):
+        service = open_service(indexed_db)
+        report = service.explain(INDEXED_QUERY, analyze=True)
+        records = report.records
+        assert records is not None
+        assert records[0]["actual_rows"] == 16
+        assert {"operator", "estimated_rows", "actual_rows", "opens",
+                "seconds", "ratio"} <= set(records[0])
+
+    def test_cursor_exposes_statement_records(self, indexed_db):
+        connection = connect(indexed_db)
+        cursor = connection.execute("EXPLAIN ANALYZE " + INDEXED_QUERY)
+        records = cursor.statement_records
+        assert records is not None
+        assert records[0]["actual_rows"] == 16
+        # plain EXPLAIN: report present, no measured records
+        cursor.execute("EXPLAIN " + INDEXED_QUERY)
+        assert cursor.statement_report is not None
+        assert cursor.statement_records is None
+        # non-explain statements reset the report and the records
+        cursor.execute(INDEXED_QUERY)
+        assert cursor.statement_records is None
+
+    def test_update_where_explain_keeps_records(self, indexed_db):
+        connection = connect(indexed_db)
+        report = connection.explain(
+            "UPDATE Paragraph p SET content = 'x' WHERE p.number == 3",
+            analyze=True)
+        assert report.records is not None
+        assert report.records[0]["actual_rows"] == 16
+
+
+# ----------------------------------------------------------------------
 # the service path
 # ----------------------------------------------------------------------
 class TestServiceExplainAnalyze:

@@ -164,11 +164,55 @@ class QueryGenerator:
             access = f"[{fields}]"
         ranges = ", ".join(f"{var} IN {cls}" for var, cls in variables)
         text = f"ACCESS {access} FROM {ranges} WHERE {condition}"
+        return text, self._used_parameters(text)
+
+    def _used_parameters(self, text: str) -> dict[str, object]:
         # atoms are generated eagerly but only sampled into the text, so
         # keep just the parameters the final query actually references
-        used = {name: value for name, value in self.parameters.items()
+        return {name: value for name, value in self.parameters.items()
                 if re.search(rf":{name}\b", text)}
-        return text, used
+
+    # -- multi-way join queries ------------------------------------------
+    #: 3–5-relation equi-join topologies over the document schema's
+    #: reference properties (Paragraph.section → Section.document)
+    MULTIJOIN_SHAPES = {
+        "chain3": ([("p", "Paragraph"), ("s", "Section"), ("d", "Document")],
+                   ["p.section == s", "s.document == d"]),
+        "star3": ([("p", "Paragraph"), ("q", "Paragraph"), ("s", "Section")],
+                  ["p.section == s", "q.section == s"]),
+        "chain4": ([("p", "Paragraph"), ("q", "Paragraph"),
+                    ("s", "Section"), ("d", "Document")],
+                   ["p.section == s", "q.section == s", "s.document == d"]),
+        "star5": ([("p", "Paragraph"), ("q", "Paragraph"), ("s", "Section"),
+                   ("t", "Section"), ("d", "Document")],
+                  ["p.section == s", "q.section == t",
+                   "s.document == d", "t.document == d"]),
+    }
+
+    def generate_multijoin(self, shape: str = None
+                           ) -> tuple[str, dict[str, object]]:
+        """A 3–5-way join query: the shape's equi-join edges plus one or
+        two random local predicates (property or method based, possibly
+        parameterized) — the join-order enumerator's fuzz surface."""
+        self.parameters = {}
+        if shape is None:
+            # the wide shapes are expensive under the naive-plan oracle,
+            # so the sampler leans on the three-relation topologies
+            shape = self.rng.choice(("chain3", "chain3", "star3", "star3",
+                                     "chain4", "star5"))
+        variables, joins = self.MULTIJOIN_SHAPES[shape]
+        atoms: list[str] = []
+        for var, class_name in variables:
+            atoms.extend(self._atoms(var, class_name))
+        picked = self.rng.sample(atoms, k=min(self.rng.randint(1, 2),
+                                              len(atoms)))
+        condition = " AND ".join(f"({part})" for part in joins + picked)
+        fields = ", ".join(
+            f"f{i}: {var}.title" if cls == "Document" else f"f{i}: {var}.number"
+            for i, (var, cls) in enumerate(variables))
+        ranges = ", ".join(f"{var} IN {cls}" for var, cls in variables)
+        text = f"ACCESS [{fields}] FROM {ranges} WHERE {condition}"
+        return text, self._used_parameters(text)
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +321,86 @@ def test_generator_is_deterministic():
     second = QueryGenerator(random.Random(7))
     for _ in range(25):
         assert first.generate() == second.generate()
+    for _ in range(10):
+        assert first.generate_multijoin() == second.generate_multijoin()
+
+
+# ----------------------------------------------------------------------
+# multi-way joins: the join-order enumerator's differential surface
+# ----------------------------------------------------------------------
+MULTIJOIN_SEEDS = (13, 59)
+
+
+@pytest.fixture(scope="module")
+def multijoin_sessions(fuzz_db):
+    """Sessions with a tight exploration cap: five-relation closures run
+    to thousands of plans, and truncated exploration is itself a target —
+    the seeded join order must stay differential when the closure stops
+    early."""
+    from repro.optimizer.search import OptimizerOptions
+
+    knowledge = document_knowledge(fuzz_db.schema)
+    options = OptimizerOptions(max_logical_plans=400, enable_trace=False)
+    return {
+        "sequential": Session(fuzz_db, knowledge=knowledge, options=options,
+                              parallelism=1),
+        "parallel": Session(fuzz_db, knowledge=knowledge, options=options,
+                            parallelism=DEGREE),
+    }
+
+
+@pytest.mark.parametrize("seed", MULTIJOIN_SEEDS)
+def test_fuzz_multijoin_differential_batch(seed, fuzz_db, multijoin_sessions):
+    """3–5-way chain and star joins (mixed property/method predicates,
+    bind parameters) stay multiset-identical across interpreter, compiled
+    and prepared engines on naive, optimized and parallel plans — the
+    enumerator may reorder the joins, never change the rows."""
+    sessions = multijoin_sessions
+    generator = QueryGenerator(random.Random(seed))
+    shapes = ("chain3", "star3", "chain4", "star5",
+              None, None)  # None → weighted random shape
+    non_empty = 0
+    for shape in shapes:
+        text, parameters = generator.generate_multijoin(shape)
+        if run_one(text, parameters, fuzz_db, sessions) > 0:
+            non_empty += 1
+    assert non_empty >= 2  # join edges must keep producing matches
+
+
+def test_multijoin_feedback_drift_oracle():
+    """Replanning after adaptive feedback never changes results: under
+    drift, every service execution of a multi-join query must equal a
+    from-scratch naive evaluation of the same query at that moment."""
+    from repro.service.service import QueryService
+
+    database = generate_document_database(n_documents=2)
+    knowledge = document_knowledge(database.schema)
+    service = QueryService(database, knowledge=knowledge,
+                           feedback_threshold=3.0)  # eager corrections
+    service.execute("ANALYZE")
+
+    generator = QueryGenerator(random.Random(211))
+    cases = [generator.generate_multijoin(shape)
+             for shape in ("chain3", "star3", "chain4")]
+    rng = random.Random(211)
+
+    def reference(text, parameters):
+        bound = Session._bind(
+            Session(database, knowledge=knowledge).analyze(text),
+            parameters or None)
+        plan = naive_implementation(translate_query(bound).plan)
+        return multiset(execute_plan_interpreted(plan, database))
+
+    for round_number in range(3):
+        for text, parameters in cases:
+            for _ in range(2):  # spans profile → correct → replan
+                result = service.execute(text, parameters or None)
+                assert multiset(result.rows) == reference(text, parameters), \
+                    f"feedback replan changed results: {text!r}"
+        # drift: renumber a few paragraphs (stays below staleness)
+        paragraphs = list(database.extension("Paragraph"))
+        for oid in rng.sample(paragraphs, k=min(4, len(paragraphs))):
+            database.update(oid, number=rng.choice(NUMBERS))
 
 
 # ----------------------------------------------------------------------

@@ -503,3 +503,128 @@ def test_mixed_parallel_and_method_shapes_under_ddl_and_concurrency():
             service.create_index("Paragraph", "number", kind="sorted")
         elif round_number == 1:
             service.drop_index("Paragraph", "number")
+
+
+# ----------------------------------------------------------------------
+# adaptive feedback re-optimization
+# ----------------------------------------------------------------------
+def _skewed_order_database():
+    """Order/Region with a rare 'urgent' status that drift makes common."""
+    import random
+
+    from repro.datamodel.database import Database
+    from repro.datamodel.schema import ClassDef, PropertyDef, Schema
+    from repro.datamodel.types import STRING
+
+    schema = Schema("feedback")
+    for name, props in (("Order", ("status", "region")),
+                        ("Region", ("name", "kind"))):
+        class_def = ClassDef(name=name)
+        for prop in props:
+            class_def.add_property(PropertyDef(prop, STRING))
+        schema.add_class(class_def)
+    database = Database(schema, name="feedback")
+    rng = random.Random(7)
+    regions = [f"R{i}" for i in range(40)]
+    database.create_many("Order", [
+        {"status": rng.choice(["open"] * 49 + ["urgent"]),
+         "region": rng.choice(regions)} for _ in range(300)])
+    database.create_many("Region",
+                         [{"name": name, "kind": "common"}
+                          for name in regions])
+    return database
+
+
+FEEDBACK_QUERY = ("ACCESS o FROM o IN Order, r IN Region "
+                  "WHERE o.status == 'urgent' AND o.region == r.name")
+
+
+def _drift_orders_to_urgent(database, count=70):
+    """Flip *count* orders to 'urgent' — enough to wreck the MCV-based
+    selectivity estimate, few enough that the statistics stay 'fresh'
+    (below the staleness fraction) and the plan cache keeps the entry."""
+    flips = [oid for oid in database.extension("Order")
+             if database.get(oid).get("status") != "urgent"][:count]
+    for oid in flips:
+        database.update(oid, status="urgent")
+
+
+def test_feedback_corrects_and_replans_after_drift():
+    database = _skewed_order_database()
+    service = QueryService(database)
+    service.execute("ANALYZE")
+
+    first = service.execute(FEEDBACK_QUERY)
+    snapshot = service.metrics.snapshot()
+    assert snapshot["feedback_evictions"] == 0
+    assert snapshot["plans_reoptimized"] == 0
+
+    _drift_orders_to_urgent(database)
+    # post-drift execution is profiled, detects the divergence, corrects
+    second = service.execute(FEEDBACK_QUERY)
+    assert service.metrics.snapshot()["feedback_evictions"] >= 1
+    assert database.stats_catalog.correction_count() >= 1
+
+    # the correction evicted the plan: the next execution replans against
+    # the observed selectivity, and the estimate now matches the actual
+    third = service.execute(FEEDBACK_QUERY)
+    assert not third.metrics.cache_hit
+    snapshot = service.metrics.snapshot()
+    assert snapshot["plans_reoptimized"] >= 1
+
+    actual = len(third.rows)
+    estimated = third.plan.optimization.best_cost.cardinality
+    assert actual == len(second.rows) > len(first.rows)
+    assert max(estimated, actual) / max(min(estimated, actual), 1.0) < 2.0
+    assert third.plan.optimization.stats_corrections >= 1
+    assert "statistics corrections applied:" in \
+        service.explain(FEEDBACK_QUERY)
+
+    # steady state: no oscillation, the corrected plan stays cached
+    fourth = service.execute(FEEDBACK_QUERY)
+    assert fourth.metrics.cache_hit
+    assert service.metrics.snapshot()["feedback_evictions"] == \
+        snapshot["feedback_evictions"]
+
+
+def test_feedback_never_changes_results():
+    """The drift oracle: replanning after feedback is invisible in the
+    result multisets — every execution equals a fresh naive session."""
+    database = _skewed_order_database()
+    service = QueryService(database)
+    service.execute("ANALYZE")
+
+    def reference():
+        fresh = Session(database)
+        return fresh.execute(FEEDBACK_QUERY, optimize=False).value_set()
+
+    assert service.execute(FEEDBACK_QUERY).value_set() == reference()
+    _drift_orders_to_urgent(database)
+    for _ in range(3):  # spans the correct → evict → replan transitions
+        assert service.execute(FEEDBACK_QUERY).value_set() == reference()
+    assert service.metrics.snapshot()["feedback_evictions"] >= 1
+
+
+def test_feedback_can_be_disabled():
+    database = _skewed_order_database()
+    service = QueryService(database, adaptive_feedback=False)
+    service.execute("ANALYZE")
+    service.execute(FEEDBACK_QUERY)
+    _drift_orders_to_urgent(database)
+    for _ in range(3):
+        service.execute(FEEDBACK_QUERY)
+    snapshot = service.metrics.snapshot()
+    assert snapshot["feedback_evictions"] == 0
+    assert snapshot["plans_reoptimized"] == 0
+    assert database.stats_catalog.correction_count() == 0
+
+
+def test_feedback_needs_analyzed_statistics():
+    """Without ANALYZE every estimate is a schema default — feedback must
+    not chase that noise with corrections."""
+    database = _skewed_order_database()
+    service = QueryService(database)
+    for _ in range(3):
+        service.execute(FEEDBACK_QUERY)
+    assert service.metrics.snapshot()["feedback_evictions"] == 0
+    assert database.stats_catalog.correction_count() == 0
