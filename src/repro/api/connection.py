@@ -28,6 +28,7 @@ OODB, not a client/server SQL engine):
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.api.router import StatementResult
@@ -36,6 +37,7 @@ from repro.datamodel.database import Database
 from repro.optimizer.knowledge import SchemaKnowledge
 from repro.optimizer.search import OptimizerOptions
 from repro.service.service import QueryService, RowStream
+from repro.telemetry.spans import Tracer, activation
 from repro.vql.analyzer import AnalyzedStatement
 from repro.vql.bindings import ParameterValues
 
@@ -48,18 +50,24 @@ def connect(database: Database,
             exclude_tags: Sequence[str] = (),
             parallelism: Optional[int] = None,
             autocommit: bool = True,
-            service: Optional[QueryService] = None) -> "Connection":
+            service: Optional[QueryService] = None,
+            tracing: Optional[bool] = None,
+            slow_query_ms: Optional[float] = None) -> "Connection":
     """Open a statement-API connection on *database*.
 
     ``knowledge``/``options``/``exclude_tags``/``parallelism`` configure
     the underlying :class:`QueryService` (ignored when an existing
     *service* is supplied); ``autocommit=False`` buffers DML until
-    :meth:`Connection.commit`.
+    :meth:`Connection.commit`.  ``tracing`` enables statement span trees
+    (``None`` consults ``REPRO_TRACE``) and ``slow_query_ms`` overrides the
+    ``REPRO_SLOW_QUERY_MS`` slow-query-log threshold — see
+    :mod:`repro.telemetry`.
     """
     if service is None:
         service = QueryService(database, knowledge=knowledge, options=options,
                                exclude_tags=exclude_tags,
-                               parallelism=parallelism)
+                               parallelism=parallelism,
+                               tracing=tracing, slow_query_ms=slow_query_ms)
     return Connection(service, autocommit=autocommit)
 
 
@@ -105,6 +113,24 @@ class Connection:
         self._check_open()
         return self.router.explain(operation, optimize=optimize,
                                    analyze=analyze, parameters=parameters)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Tracer:
+        """The service's statement tracer (ring buffer of recent spans)."""
+        return self.service.tracer
+
+    def metrics(self, fmt: str = "json"):
+        """Export the service's metrics registry.
+
+        ``fmt="json"`` returns a dict (counters, gauges, latency
+        histograms with p50/p90/p99, per-fingerprint top statements);
+        ``fmt="prometheus"`` returns Prometheus text exposition format.
+        """
+        self._check_open()
+        return self.service.registry.export(fmt)
 
     # ------------------------------------------------------------------
     # batch flush (commit-style)
@@ -229,17 +255,37 @@ class Cursor:
         self._check_open()
         self._reset()
         connection = self.connection
-        analyzed = connection.router.analyze(operation)
+        service = connection.service
+        # Open the statement's root span before analysis so the analyze
+        # child (recorded inside the router) attaches under it; for query
+        # statements the span stays open and travels into the row stream.
+        span = service.tracer.begin_root("statement", api="cursor")
+        try:
+            started = time.perf_counter()
+            with activation(span):
+                analyzed = connection.router.analyze(operation)
+            analyze_seconds = time.perf_counter() - started
+        except BaseException as exc:
+            service.tracer.finish(span, error=exc)
+            raise
         if analyzed.is_query:
-            self._stream = connection.service.stream_analyzed(
-                analyzed.query, parameters)
+            self._stream = service.stream_analyzed(
+                analyzed.query, parameters,
+                analyze_seconds=analyze_seconds, span=span)
             self.description = ((self._stream.output_ref,
                                  None, None, None, None, None, None),)
             return self
         if analyzed.is_mutation and not connection.autocommit:
+            service.tracer.finish(span)
             connection._defer(analyzed, [parameters])
             return self
-        self._finish(connection.router.execute(analyzed, parameters))
+        try:
+            with activation(span):
+                self._finish(connection.router.execute(analyzed, parameters))
+        except BaseException as exc:
+            service.tracer.finish(span, error=exc)
+            raise
+        service.tracer.finish(span)
         return self
 
     def executemany(self, operation: str,

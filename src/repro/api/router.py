@@ -42,6 +42,7 @@ from repro.datamodel.oid import OID
 from repro.errors import ServiceError
 from repro.physical.evaluator import evaluate
 from repro.physical.profile import ExplainReport
+from repro.telemetry.spans import child_span
 from repro.vql.analyzer import AnalyzedQuery, AnalyzedStatement, analyze_statement
 from repro.vql.ast import Statement
 from repro.vql.bindings import ParameterValues, resolve_bindings
@@ -118,18 +119,23 @@ class StatementRouter:
         if isinstance(statement, Statement):
             return analyze_statement(statement, self.database.schema)
         schema_version = self.database.versions.schema
-        with self._statements_lock:
-            entry = self._statements.get(statement)
-            if entry is not None and entry[0] == schema_version:
+        with child_span("analyze") as span:
+            with self._statements_lock:
+                entry = self._statements.get(statement)
+                if entry is not None and entry[0] == schema_version:
+                    self._statements.move_to_end(statement)
+                    if span is not None:
+                        span.annotate(cached=True, kind=entry[1].kind)
+                    return entry[1]
+            analyzed = analyze_statement(parse_statement(statement),
+                                         self.database.schema)
+            with self._statements_lock:
+                self._statements[statement] = (schema_version, analyzed)
                 self._statements.move_to_end(statement)
-                return entry[1]
-        analyzed = analyze_statement(parse_statement(statement),
-                                     self.database.schema)
-        with self._statements_lock:
-            self._statements[statement] = (schema_version, analyzed)
-            self._statements.move_to_end(statement)
-            while len(self._statements) > self._statements_capacity:
-                self._statements.popitem(last=False)
+                while len(self._statements) > self._statements_capacity:
+                    self._statements.popitem(last=False)
+            if span is not None:
+                span.annotate(cached=False, kind=analyzed.kind)
         return analyzed
 
     # ------------------------------------------------------------------
@@ -257,11 +263,12 @@ class StatementRouter:
             bindings = resolve_bindings(analyzed.parameters, parameters)
             rows.append({prop: getter(bindings) for prop, getter in getters})
         class_name = analyzed.class_name
-        with self._write_guard():
-            if len(rows) == 1:
-                created = [self.database.create(class_name, **rows[0])]
-            else:
-                created = self.database.create_many(class_name, rows)
+        with child_span("apply", kind="insert", rows=len(rows)):
+            with self._write_guard():
+                if len(rows) == 1:
+                    created = [self.database.create(class_name, **rows[0])]
+                else:
+                    created = self.database.create_many(class_name, rows)
         return StatementResult(kind="insert", rowcount=len(created),
                                oids=tuple(created))
 
@@ -282,15 +289,16 @@ class StatementRouter:
         # two phases (no long transactions): objects deleted in the gap are
         # skipped, not crashed on.
         applied: list[OID] = []
-        with self._write_guard():
-            for oid in targets:
-                if not self.database.exists(oid):
-                    continue
-                row = {alias: oid}
-                values = {prop: getter(bindings, row)
-                          for prop, getter in getters}
-                self.database.update(oid, **values)
-                applied.append(oid)
+        with child_span("apply", kind="update", targets=len(targets)):
+            with self._write_guard():
+                for oid in targets:
+                    if not self.database.exists(oid):
+                        continue
+                    row = {alias: oid}
+                    values = {prop: getter(bindings, row)
+                              for prop, getter in getters}
+                    self.database.update(oid, **values)
+                    applied.append(oid)
         return StatementResult(kind="update", rowcount=len(applied),
                                oids=tuple(applied))
 
@@ -300,12 +308,13 @@ class StatementRouter:
         bindings = resolve_bindings(analyzed.parameters, parameters)
         targets = self._matching_oids(analyzed, bindings, optimize)
         applied: list[OID] = []
-        with self._write_guard():
-            for oid in targets:
-                if not self.database.exists(oid):
-                    continue  # deleted since the WHERE-query ran
-                self.database.delete(oid)
-                applied.append(oid)
+        with child_span("apply", kind="delete", targets=len(targets)):
+            with self._write_guard():
+                for oid in targets:
+                    if not self.database.exists(oid):
+                        continue  # deleted since the WHERE-query ran
+                    self.database.delete(oid)
+                    applied.append(oid)
         return StatementResult(kind="delete", rowcount=len(applied),
                                oids=tuple(applied))
 
@@ -316,7 +325,8 @@ class StatementRouter:
         where = analyzed.query
         sub_parameters = ({key: bindings[key] for key in where.parameters}
                           or None)
-        result = self._run_query(where, sub_parameters, optimize)
+        with child_span("where-query"):
+            result = self._run_query(where, sub_parameters, optimize)
         ref = result.output_ref
         return list(dict.fromkeys(row[ref] for row in result.rows))
 

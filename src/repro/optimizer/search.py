@@ -35,6 +35,7 @@ from repro.optimizer.rules import RuleContext, RuleSet
 from repro.optimizer.statistics import OptimizerStatistics
 from repro.optimizer.trace import OptimizationTrace
 from repro.physical.plans import PhysicalOperator
+from repro.telemetry.spans import annotate_current
 
 __all__ = ["OptimizerOptions", "OptimizationResult", "Optimizer"]
 
@@ -173,6 +174,15 @@ class Optimizer:
         trace.record_decision(
             format_inline(logical_plan), format_inline(best_logical),
             detail=f"{best_cost}")
+        # Link this optimization into the statement's trace span (when one
+        # is active): search-effort statistics plus the OptimizationTrace
+        # length, so a span tree points back at the Section-7 demonstrator.
+        annotate_current(
+            logical_plans=statistics.logical_plans_explored,
+            transformations=statistics.transformations_applied,
+            physical_plans_costed=statistics.physical_plans_costed,
+            trace_events=len(trace),
+            best_cost=best_cost.cost)
         return OptimizationResult(
             best_plan=best_plan,
             best_cost=best_cost,

@@ -55,6 +55,7 @@ from repro.physical.plans import (
     SetProbeFilter,
     UnionOp,
 )
+from repro.telemetry.spans import child_span
 
 __all__ = ["execute_plan", "Row"]
 
@@ -71,7 +72,11 @@ def execute_plan(plan: PhysicalOperator, database: Database,
     results are unaffected.
     """
     compiler = ExpressionCompiler(database, profile=profile)
-    return list(_open(plan, database, compiler))
+    with child_span("execute", engine="compiled") as span:
+        rows = list(_open(plan, database, compiler))
+        if span is not None:
+            span.annotate(rows=len(rows))
+    return rows
 
 
 def _open(plan: PhysicalOperator, database: Database,

@@ -58,6 +58,7 @@ from repro.physical.plans import (
     SetProbeFilter,
     UnionOp,
 )
+from repro.telemetry.spans import child_span
 
 __all__ = ["execute_plan_interpreted", "Row"]
 
@@ -82,7 +83,11 @@ def execute_plan_interpreted(plan: PhysicalOperator,
     rather than streams, each operator records its whole (inclusive)
     evaluation in one step.
     """
-    return _interpret(plan, database, profile)
+    with child_span("execute", engine="interpreter") as span:
+        rows = _interpret(plan, database, profile)
+        if span is not None:
+            span.annotate(rows=len(rows))
+    return rows
 
 
 def _interpret(plan: PhysicalOperator, database: Database,

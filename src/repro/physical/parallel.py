@@ -37,6 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
 from repro.physical.evaluator import make_hashable
+from repro.telemetry.spans import child_span
 
 __all__ = ["DEFAULT_MORSEL_SIZE", "MAX_WORKERS", "default_parallelism",
            "make_morsels", "process_morsels", "worker_pool",
@@ -117,27 +118,28 @@ def process_morsels(morsels: Sequence[Sequence[Item]],
             merged.extend(worker(morsel))
         return merged
 
-    pool = worker_pool(degree)
-    futures = [pool.submit(worker, morsel) for morsel in morsels]
-    outputs: list[list[Result]] = []
-    first_error: Optional[Exception] = None
-    try:
-        for future in futures:
-            try:
-                outputs.append(future.result())
-            except Exception as exc:  # worker errors settle with the batch
-                if first_error is None:
-                    first_error = exc
-    except BaseException:  # KeyboardInterrupt etc.: leave immediately
-        for future in futures:
-            future.cancel()
-        raise
-    if first_error is not None:
-        raise first_error
-    merged = []
-    for output in outputs:
-        merged.extend(output)
-    return merged
+    with child_span("morsel-dispatch", morsels=len(morsels), degree=degree):
+        pool = worker_pool(degree)
+        futures = [pool.submit(worker, morsel) for morsel in morsels]
+        outputs: list[list[Result]] = []
+        first_error: Optional[Exception] = None
+        try:
+            for future in futures:
+                try:
+                    outputs.append(future.result())
+                except Exception as exc:  # worker errors settle with the batch
+                    if first_error is None:
+                        first_error = exc
+        except BaseException:  # KeyboardInterrupt etc.: leave immediately
+            for future in futures:
+                future.cancel()
+            raise
+        if first_error is not None:
+            raise first_error
+        merged = []
+        for output in outputs:
+            merged.extend(output)
+        return merged
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,7 @@ from repro.physical.plans import PhysicalOperator
 
 __all__ = ["OperatorCounters", "PlanProfile", "ExplainReport",
            "estimated_vs_actual", "divergent_operators",
-           "render_explain_analyze"]
+           "profile_summary", "render_explain_analyze"]
 
 
 class ExplainReport(str):
@@ -195,6 +195,29 @@ def divergent_operators(plan: PhysicalOperator, profile: PlanProfile,
 
     visit(plan)
     return divergences
+
+
+def profile_summary(plan: PhysicalOperator, profile: PlanProfile,
+                    cost_model=None, top: int = 3) -> list[dict]:
+    """The *top* worst-misestimated operators of a profiled run, compacted
+    for structured logging (the slow-query log's estimated-vs-actual
+    payload): operator description, estimated and actual rows, ratio.
+
+    Without a cost model the ratio is unknown; records then fall back to
+    the slowest operators by measured time.
+    """
+    records = estimated_vs_actual(plan, profile, cost_model=cost_model)
+    if cost_model is not None:
+        records.sort(key=lambda r: r["ratio"] or 1.0, reverse=True)
+    else:
+        records.sort(key=lambda r: r["seconds"], reverse=True)
+    return [{"operator": record["operator"],
+             "estimated_rows": record["estimated_rows"],
+             "actual_rows": record["actual_rows"],
+             "seconds": round(record["seconds"], 6),
+             "ratio": (round(record["ratio"], 2)
+                       if record["ratio"] is not None else None)}
+            for record in records[:max(top, 1)]]
 
 
 def render_explain_analyze(plan: PhysicalOperator, profile: PlanProfile,

@@ -185,6 +185,13 @@ class PlanCache:
         with self._lock:
             return list(self._entries.values())
 
+    def snapshot(self) -> dict[str, int]:
+        """Size, capacity and behaviour counters in one consistent read
+        (the feed behind the telemetry plan-cache gauges)."""
+        with self._lock:
+            return {"size": len(self._entries), "capacity": self.capacity,
+                    **self.statistics.as_dict()}
+
     def __str__(self) -> str:
         stats = self.statistics
         return (f"PlanCache({len(self)}/{self.capacity} entries, "

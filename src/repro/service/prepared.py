@@ -64,6 +64,7 @@ from repro.physical.plans import (
     SetProbeFilter,
     UnionOp,
 )
+from repro.telemetry.spans import child_span
 
 __all__ = ["BindingEnv", "PreparedExecutable", "prepare_plan"]
 
@@ -125,7 +126,8 @@ class PreparedExecutable:
         compiler = ExpressionCompiler(database,
                                       parameter_resolver=self._env.resolve,
                                       profile=profile)
-        self._root = _build(plan, database, compiler, self._env)
+        with child_span("compile", profiled=profile is not None):
+            self._root = _build(plan, database, compiler, self._env)
 
     def run(self, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:
         """Execute the plan with *bindings* and return the result rows.

@@ -28,10 +28,12 @@ execute time); the service aggregates them in :class:`ServiceMetrics`.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence, Union
 
@@ -51,12 +53,16 @@ from repro.physical.plans import (Filter, HashJoin, IndexNestedLoopJoin,
                                   describe_physical_tree)
 from repro.physical.profile import (ExplainReport, PlanProfile,
                                     divergent_operators, estimated_vs_actual,
-                                    render_explain_analyze)
+                                    profile_summary, render_explain_analyze)
 from repro.service.cache import CachedPlan, PlanCache
 from repro.service.concurrency import ReadWriteLock
 from repro.service.fingerprint import cache_key, query_fingerprint
 from repro.service.prepared import PreparedExecutable, prepare_plan
 from repro.session import QueryResult
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.spans import (NOOP_SPAN, Tracer, activation,
+                                   annotate_current, child_span, current_span)
 from repro.vql.analyzer import AnalyzedQuery
 from repro.vql.bindings import ParameterValues, resolve_bindings
 
@@ -114,57 +120,134 @@ class QueryMetrics:
         return self.analyze_seconds + self.prepare_seconds + self.execute_seconds
 
 
-@dataclass
 class ServiceMetrics:
-    """Aggregated service counters (thread-safe)."""
+    """Aggregated service counters (thread-safe).
 
-    queries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    statements_prepared: int = 0
-    #: plans rebuilt after an adaptive-feedback eviction (the replan side)
-    plans_reoptimized: int = 0
-    #: cache invalidations triggered by feedback corrections (the evict side)
-    feedback_evictions: int = 0
-    total_execute_seconds: float = 0.0
-    total_prepare_seconds: float = 0.0
-    total_optimize_seconds: float = 0.0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    .. deprecated:: since the telemetry subsystem this class is a *facade*
+       over a :class:`repro.telemetry.metrics.MetricsRegistry` — the old
+       sum-only attributes (``queries``, ``cache_hits``,
+       ``total_execute_seconds``, …) and :meth:`snapshot` keep working, but
+       new code should read the registry's exports
+       (``service.registry.export()`` / ``Connection.metrics()``), which
+       additionally carry latency percentiles and per-statement stats.
+    """
 
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._queries = reg.counter(
+            "repro_statements_total", "statements executed by the service")
+        self._cache_hits = reg.counter(
+            "repro_plan_cache_hits_total", "executions served a cached plan")
+        self._cache_misses = reg.counter(
+            "repro_plan_cache_misses_total", "executions that built a plan")
+        self._errors = reg.counter(
+            "repro_statement_errors_total", "statements that raised")
+        self._plans_reoptimized = reg.counter(
+            "repro_plans_reoptimized_total",
+            "plans rebuilt after an adaptive-feedback eviction")
+        self._feedback_evictions = reg.counter(
+            "repro_feedback_evictions_total",
+            "cache invalidations triggered by feedback corrections")
+        self._statements_prepared = reg.gauge(
+            "repro_cached_statements", "analyzed statements cached by text")
+        self._analyze = reg.histogram(
+            "repro_analyze_seconds", "statement analyze/binding latency")
+        self._prepare = reg.histogram(
+            "repro_prepare_seconds",
+            "translate+optimize+compile latency (cache misses)")
+        self._optimize = reg.histogram(
+            "repro_optimize_seconds", "optimizer latency (cache misses)")
+        self._execute = reg.histogram(
+            "repro_execute_seconds", "statement execute latency")
+
+    # -- legacy attribute surface (reads the registry) ------------------
+    @property
+    def queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def statements_prepared(self) -> int:
+        return int(self._statements_prepared.value)
+
+    @property
+    def plans_reoptimized(self) -> int:
+        return int(self._plans_reoptimized.value)
+
+    @property
+    def feedback_evictions(self) -> int:
+        return int(self._feedback_evictions.value)
+
+    @property
+    def total_execute_seconds(self) -> float:
+        return self._execute.sum
+
+    @property
+    def total_prepare_seconds(self) -> float:
+        return self._prepare.sum
+
+    @property
+    def total_optimize_seconds(self) -> float:
+        return self._optimize.sum
+
+    # -- recording ------------------------------------------------------
     def record_feedback_eviction(self) -> None:
-        with self._lock:
-            self.feedback_evictions += 1
+        self._feedback_evictions.inc()
 
     def record_reoptimized(self) -> None:
-        with self._lock:
-            self.plans_reoptimized += 1
+        self._plans_reoptimized.inc()
+
+    def record_error(self) -> None:
+        self._errors.inc()
+
+    def set_statements_prepared(self, count: int) -> None:
+        """Locked setter for the statement-cache size gauge (the former
+        bare attribute assignment raced concurrent executions)."""
+        self._statements_prepared.set(count)
 
     def record(self, metrics: QueryMetrics) -> None:
-        with self._lock:
-            self.queries += 1
-            if metrics.cache_hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-            self.total_execute_seconds += metrics.execute_seconds
-            self.total_prepare_seconds += metrics.prepare_seconds
-            self.total_optimize_seconds += metrics.optimize_seconds
+        self._queries.inc()
+        if metrics.cache_hit:
+            self._cache_hits.inc()
+        else:
+            self._cache_misses.inc()
+            # prepare/optimize histograms only see misses, preserving the
+            # legacy sum semantics (hits contributed 0.0 to the old totals)
+            self._prepare.observe(metrics.prepare_seconds)
+            self._optimize.observe(metrics.optimize_seconds)
+        self._analyze.observe(metrics.analyze_seconds)
+        self._execute.observe(metrics.execute_seconds)
+        if metrics.fingerprint:
+            self.registry.record_statement(metrics.fingerprint,
+                                           metrics.total_seconds)
 
     def snapshot(self) -> dict[str, float]:
-        with self._lock:
-            return {
-                "queries": self.queries,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "statements_prepared": self.statements_prepared,
-                "plans_reoptimized": self.plans_reoptimized,
-                "feedback_evictions": self.feedback_evictions,
-                "hit_rate": (self.cache_hits / self.queries
-                             if self.queries else 0.0),
-                "total_execute_seconds": self.total_execute_seconds,
-                "total_prepare_seconds": self.total_prepare_seconds,
-                "total_optimize_seconds": self.total_optimize_seconds,
-            }
+        queries = self.queries
+        return {
+            "queries": queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "errors": self.errors,
+            "statements_prepared": self.statements_prepared,
+            "plans_reoptimized": self.plans_reoptimized,
+            "feedback_evictions": self.feedback_evictions,
+            "hit_rate": (self.cache_hits / queries if queries else 0.0),
+            "total_execute_seconds": self.total_execute_seconds,
+            "total_prepare_seconds": self.total_prepare_seconds,
+            "total_optimize_seconds": self.total_optimize_seconds,
+        }
 
 
 @dataclass
@@ -219,8 +302,26 @@ class QueryService:
                  reoptimize_fraction: float = 0.25,
                  parallelism: Optional[int] = None,
                  adaptive_feedback: bool = True,
-                 feedback_threshold: float = 10.0):
+                 feedback_threshold: float = 10.0,
+                 tracing: Optional[bool] = None,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 slow_query_ms: Optional[float] = None):
         self.database = database
+        #: statement tracing (span tree per statement): ``tracing=None``
+        #: consults the ``REPRO_TRACE`` environment variable; pass a
+        #: pre-built :class:`~repro.telemetry.spans.Tracer` to share a ring
+        #: buffer or attach sinks.  Disabled tracing costs one branch per
+        #: statement (see :mod:`repro.telemetry.spans`).
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            if tracing is None:
+                tracing = os.environ.get("REPRO_TRACE", "").strip().lower() \
+                    in ("1", "true", "yes", "on")
+            self.tracer = Tracer(enabled=tracing)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
         #: adaptive re-optimization: profile the first execution of every
         #: cost-based plan (and the first after data drift), and when an
         #: operator's estimate diverges from the measurement by more than
@@ -258,18 +359,66 @@ class QueryService:
         self._build_locks: dict[Any, threading.Lock] = {}
         self._build_locks_guard = threading.Lock()
         self._gate = ReadWriteLock()
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(registry=self.registry)
         #: the shared statement front end: classification, DML and DDL live
         #: in the router; queries come back through ``execute_analyzed`` so
         #: they (and UPDATE/DELETE WHERE clauses) hit the plan cache.  The
         #: router's text cache (schema-version-validated) is the single
-        #: statement cache — ``prepare`` resolves through it too.
+        #: statement cache — ``prepare`` resolves through it too.  The write
+        #: guard is the traced wrapper so gate waits show up as spans.
         self.router = StatementRouter(
             database,
             run_query=self.execute_analyzed,
             explain_query=self._explain_analyzed,
-            write_guard=self._gate.write_locked,
+            write_guard=self._traced_write_guard,
             statement_cache_size=4 * cache_capacity)
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Callback-backed gauges: plan cache, partitions, statistics
+        catalog — read live at export time, no per-statement upkeep."""
+        reg = self.registry
+        reg.gauge("repro_plan_cache_size", "cached plans",
+                  fn=lambda: float(len(self.cache)))
+        reg.gauge("repro_plan_cache_capacity", "plan cache capacity",
+                  fn=lambda: float(self.cache.capacity))
+        reg.gauge("repro_plan_cache_evictions", "plan cache LRU evictions",
+                  fn=lambda: float(self.cache.statistics.evictions))
+        reg.gauge("repro_plan_cache_invalidations",
+                  "plan cache version invalidations",
+                  fn=lambda: float(self.cache.statistics.invalidations))
+        reg.gauge("repro_extension_partitions",
+                  "extension partitions across all classes",
+                  fn=self._partition_count)
+        reg.gauge("repro_statistics_analyzed_classes",
+                  "classes with ANALYZE statistics",
+                  fn=lambda: float(len(self._stats_catalog().analyzed_classes())
+                                   if self._stats_catalog() else 0))
+        reg.gauge("repro_statistics_corrections",
+                  "feedback corrections held by the statistics catalog",
+                  fn=lambda: float(self._stats_catalog().correction_count()
+                                   if self._stats_catalog() else 0))
+
+    def _stats_catalog(self):
+        return getattr(self.database, "stats_catalog", None)
+
+    def _partition_count(self) -> float:
+        total = 0
+        for class_name in self.schema.class_names():
+            total += len(self.database.extension_partitions(class_name))
+        return float(total)
+
+    @contextmanager
+    def _traced_write_guard(self):
+        """The router's write guard with the gate *wait* traced: only the
+        acquisition is inside the span, so a long write section is never
+        mistaken for lock contention."""
+        with child_span("write-gate-wait"):
+            self._gate.acquire_write()
+        try:
+            yield
+        finally:
+            self._gate.release_write()
 
     # ------------------------------------------------------------------
     # statement preparation
@@ -290,7 +439,7 @@ class QueryService:
                 f"cannot prepare a {analyzed.kind.upper()} statement — "
                 "prepare() is for queries")
         statement = self._prepared_for(analyzed.query, optimize)
-        self.metrics.statements_prepared = self.router.cached_statements
+        self.metrics.set_statements_prepared(self.router.cached_statements)
         return statement
 
     # ------------------------------------------------------------------
@@ -307,11 +456,30 @@ class QueryService:
         :class:`ServiceResult`, mutations a
         :class:`~repro.api.router.StatementResult`.
         """
-        if isinstance(query, PreparedQuery):
-            return self._execute_prepared(query, parameters)
-        result = self.router.execute(query, parameters=parameters,
-                                     optimize=optimize)
-        self.metrics.statements_prepared = self.router.cached_statements
+        try:
+            if isinstance(query, PreparedQuery):
+                return self._execute_prepared(query, parameters)
+            with self.tracer.span("statement"):
+                started = time.perf_counter()
+                result = self.router.execute(query, parameters=parameters,
+                                             optimize=optimize)
+                elapsed = time.perf_counter() - started
+                annotate_current(kind=getattr(result, "kind", "select"),
+                                 rows=len(result))
+        except Exception:
+            self.metrics.record_error()
+            raise
+        self.metrics.set_statements_prepared(self.router.cached_statements)
+        # Query results were already slow-logged (with plan detail) by
+        # _execute_prepared; DDL/DML results carry no metrics and are
+        # logged here against the whole statement time.
+        if (getattr(result, "metrics", None) is None
+                and self.slow_log.would_log(elapsed)):
+            self.slow_log.record(
+                text=query if isinstance(query, str) else str(query),
+                seconds=elapsed,
+                parameters=parameters if isinstance(parameters, dict) else None,
+                rows=len(result))
         return result
 
     def execute_analyzed(self, analyzed: AnalyzedQuery,
@@ -346,13 +514,27 @@ class QueryService:
         statement = handles.get(optimize)
         if statement is None:
             statement = PreparedQuery(
-                text="", analyzed=analyzed, optimize=optimize,
+                text=str(analyzed.query), analyzed=analyzed,
+                optimize=optimize,
                 fingerprint=query_fingerprint(analyzed, optimize))
             handles[optimize] = statement
         return statement
 
     def _execute_prepared(self, statement: PreparedQuery,
                           parameters: ParameterValues) -> ServiceResult:
+        # Root span only when this call IS the statement (tracing on, no
+        # enclosing span): text statements and DML WHERE-queries arrive with
+        # a span already active and nest their children under it.
+        if self.tracer.enabled and current_span() is None:
+            span_cm = self.tracer.span("statement",
+                                       fingerprint=statement.fingerprint)
+        else:
+            span_cm = NOOP_SPAN
+        with span_cm:
+            return self._run_prepared(statement, parameters)
+
+    def _run_prepared(self, statement: PreparedQuery,
+                      parameters: ParameterValues) -> ServiceResult:
         started = time.perf_counter()
         bindings = resolve_bindings(statement.analyzed.parameters, parameters)
         analyze_seconds = time.perf_counter() - started
@@ -362,10 +544,23 @@ class QueryService:
             self._rearm_feedback(entry)
             before = self.database.work_snapshot()
             run_started = time.perf_counter()
-            rows = entry.executable.run(bindings)
+            with child_span("execute") as execute_span:
+                rows = entry.executable.run(bindings)
+                if execute_span is not None:
+                    execute_span.annotate(rows=len(rows))
             execute_seconds = time.perf_counter() - run_started
             after = self.database.work_snapshot()
         work = {key: after[key] - before.get(key, 0.0) for key in after}
+
+        # The slow-query decision must capture the armed profile's
+        # estimate-vs-actual records *before* the feedback check consumes it.
+        slow = self.slow_log.would_log(execute_seconds)
+        profile_records = None
+        if (slow and entry.feedback_profile is not None
+                and len(entry.feedback_profile)):
+            profile_records = profile_summary(
+                entry.physical_plan, entry.feedback_profile,
+                cost_model=self._optimizer.cost_model)
         self._maybe_apply_feedback(entry)
 
         metrics = QueryMetrics(
@@ -377,6 +572,18 @@ class QueryService:
             optimize_seconds=0.0 if cache_hit else entry.optimize_seconds,
             execute_seconds=execute_seconds)
         self.metrics.record(metrics)
+        annotate_current(fingerprint=entry.fingerprint, cache_hit=cache_hit,
+                         rows=len(rows))
+        if slow:
+            self.slow_log.record(
+                text=statement.text or f"<prepared {entry.fingerprint}>",
+                fingerprint=entry.fingerprint,
+                seconds=execute_seconds,
+                parameters=bindings,
+                plan=describe_physical_tree(entry.physical_plan),
+                cache_hit=cache_hit,
+                rows=len(rows),
+                profile=profile_records)
         return ServiceResult(rows=rows, output_ref=entry.output_ref,
                              metrics=metrics, plan=entry, work=work)
 
@@ -399,7 +606,11 @@ class QueryService:
     # ------------------------------------------------------------------
     def _entry_for(self, statement: PreparedQuery) -> tuple[CachedPlan, bool]:
         key = cache_key(statement.analyzed, statement.optimize)
-        entry = self.cache.lookup(key, self.database, self._knowledge_version)
+        with child_span("plan-cache") as lookup_span:
+            entry = self.cache.lookup(key, self.database,
+                                      self._knowledge_version)
+            if lookup_span is not None:
+                lookup_span.annotate(hit=entry is not None)
         if entry is not None:
             return entry, True
         with self._build_locks_guard:
@@ -430,13 +641,15 @@ class QueryService:
         stats_version = versions.stats
         object_count = self.database.object_count()
 
+        replan = statement.fingerprint in self._feedback_replans
         started = time.perf_counter()
         translation = translate_query(statement.analyzed)
         optimization: Optional[OptimizationResult] = None
         optimize_seconds = 0.0
         if statement.optimize:
             optimize_started = time.perf_counter()
-            optimization = self._optimizer.optimize(translation.plan)
+            with child_span("optimize", replan=replan):
+                optimization = self._optimizer.optimize(translation.plan)
             optimize_seconds = time.perf_counter() - optimize_started
             physical = optimization.best_plan
         else:
@@ -445,7 +658,7 @@ class QueryService:
         executable = prepare_plan(physical, self.database, profile=profile)
         prepare_seconds = time.perf_counter() - started
 
-        if statement.fingerprint in self._feedback_replans:
+        if replan:
             self._feedback_replans.discard(statement.fingerprint)
             self.metrics.record_reoptimized()
 
@@ -516,22 +729,26 @@ class QueryService:
         profile = entry.feedback_profile
         if profile is None or len(profile) == 0:
             return
-        entry.feedback_profile = None
-        entry.executable = prepare_plan(entry.physical_plan, self.database)
-        catalog = getattr(self.database, "stats_catalog", None)
-        if catalog is None:
-            return
-        cost_model = self._optimizer.cost_model
-        applied = False
-        for record in divergent_operators(entry.physical_plan, profile,
-                                          cost_model,
-                                          threshold=self.feedback_threshold):
-            applied = self._apply_correction(record, cost_model,
-                                             catalog) or applied
-        if applied:
-            self._feedback_replans.add(entry.fingerprint)
-            self.database.note_stats_correction()
-            self.metrics.record_feedback_eviction()
+        with child_span("feedback") as span:
+            entry.feedback_profile = None
+            entry.executable = prepare_plan(entry.physical_plan, self.database)
+            catalog = getattr(self.database, "stats_catalog", None)
+            if catalog is None:
+                return
+            cost_model = self._optimizer.cost_model
+            divergences = divergent_operators(
+                entry.physical_plan, profile, cost_model,
+                threshold=self.feedback_threshold)
+            applied = False
+            for record in divergences:
+                applied = self._apply_correction(record, cost_model,
+                                                 catalog) or applied
+            if span is not None:
+                span.annotate(divergences=len(divergences), applied=applied)
+            if applied:
+                self._feedback_replans.add(entry.fingerprint)
+                self.database.note_stats_correction()
+                self.metrics.record_feedback_eviction()
 
     def _apply_correction(self, record: dict, cost_model, catalog) -> bool:
         """Translate one divergent operator into a catalog correction.
@@ -694,33 +911,66 @@ class QueryService:
         cannot observe each other's parameter values.
         """
         if isinstance(query, PreparedQuery):
-            statement = query
-        else:
-            analyzed = self.router.analyze(query)
+            return self._open_stream(
+                query, parameters,
+                span=self.tracer.begin_root("statement", stream=True))
+        span = self.tracer.begin_root("statement", stream=True)
+        try:
+            started = time.perf_counter()
+            with activation(span):
+                analyzed = self.router.analyze(query)
+            analyze_seconds = time.perf_counter() - started
             if not analyzed.is_query:
                 raise ServiceError(
                     f"cannot stream a {analyzed.kind.upper()} statement")
-            return self.stream_analyzed(analyzed.query, parameters, optimize)
-        return self._open_stream(statement, parameters)
+        except BaseException as exc:
+            self.metrics.record_error()
+            self.tracer.finish(span, error=exc)
+            raise
+        return self.stream_analyzed(analyzed.query, parameters, optimize,
+                                    analyze_seconds=analyze_seconds, span=span)
 
     def stream_analyzed(self, analyzed: AnalyzedQuery,
                         parameters: ParameterValues = None,
-                        optimize: bool = True) -> "RowStream":
-        """:meth:`stream` for an already-analyzed query."""
+                        optimize: bool = True,
+                        analyze_seconds: float = 0.0,
+                        span=None) -> "RowStream":
+        """:meth:`stream` for an already-analyzed query.
+
+        *analyze_seconds* carries the caller's parse+analyze timing into the
+        stream's :class:`QueryMetrics` (the cursor facade analyzes before it
+        reaches the service); *span* hands over an open statement span whose
+        lifecycle the stream finishes on exhaust/close.
+        """
+        if span is None:
+            span = self.tracer.begin_root("statement", stream=True)
         return self._open_stream(self._prepared_for(analyzed, optimize),
-                                 parameters)
+                                 parameters, analyze_seconds=analyze_seconds,
+                                 span=span)
 
     def _open_stream(self, statement: PreparedQuery,
-                     parameters: ParameterValues) -> "RowStream":
-        bindings = resolve_bindings(statement.analyzed.parameters, parameters)
-        with self._gate.read_locked():
-            entry, cache_hit = self._entry_for(statement)
-        self.metrics.statements_prepared = self.router.cached_statements
+                     parameters: ParameterValues,
+                     analyze_seconds: float = 0.0,
+                     span=None) -> "RowStream":
+        try:
+            with activation(span):
+                bindings = resolve_bindings(statement.analyzed.parameters,
+                                            parameters)
+                with self._gate.read_locked():
+                    entry, cache_hit = self._entry_for(statement)
+        except BaseException as exc:
+            self.metrics.record_error()
+            self.tracer.finish(span, error=exc)
+            raise
+        self.metrics.set_statements_prepared(self.router.cached_statements)
         metrics = QueryMetrics(
             fingerprint=entry.fingerprint,
             cache_hit=cache_hit,
+            analyze_seconds=analyze_seconds,
             prepare_seconds=0.0 if cache_hit else entry.prepare_seconds,
             optimize_seconds=0.0 if cache_hit else entry.optimize_seconds)
+        if span is not None:
+            span.annotate(fingerprint=entry.fingerprint, cache_hit=cache_hit)
 
         def record(stream: "RowStream") -> None:
             # streamed executions enter the service metrics once, when the
@@ -728,6 +978,22 @@ class QueryService:
             metrics.rows = stream.consumed
             metrics.execute_seconds = stream.fetch_seconds
             self.metrics.record(metrics)
+            if span is not None:
+                # the accumulated fetch time becomes a post-hoc child, so
+                # streamed trees read like the one-shot path's
+                span.child_event("execute", stream.fetch_seconds,
+                                 rows=stream.consumed)
+                span.annotate(rows=stream.consumed)
+            self.tracer.finish(span)
+            if self.slow_log.would_log(stream.fetch_seconds):
+                self.slow_log.record(
+                    text=statement.text or f"<prepared {entry.fingerprint}>",
+                    fingerprint=entry.fingerprint,
+                    seconds=stream.fetch_seconds,
+                    parameters=bindings,
+                    plan=describe_physical_tree(entry.physical_plan),
+                    cache_hit=cache_hit,
+                    rows=stream.consumed)
 
         return RowStream(self._gate, entry, bindings, on_finish=record)
 

@@ -33,6 +33,7 @@ from repro.physical.profile import (ExplainReport, PlanProfile,
                                     estimated_vs_actual,
                                     render_explain_analyze)
 from repro.service.prepared import PreparedExecutable
+from repro.telemetry.spans import Tracer, child_span
 from repro.vql.analyzer import AnalyzedQuery, analyze_query
 from repro.vql.ast import Query
 from repro.vql.bindings import ParameterValues, bind_query, resolve_bindings
@@ -82,10 +83,15 @@ class Session:
                  optimizer: Optional[Optimizer] = None,
                  options: Optional[OptimizerOptions] = None,
                  exclude_tags: Sequence[str] = (),
-                 parallelism: Optional[int] = None):
+                 parallelism: Optional[int] = None,
+                 tracing: bool = False,
+                 tracer: Optional[Tracer] = None):
         self.database = database
         self.schema = database.schema
         self.knowledge = knowledge or SchemaKnowledge(self.schema)
+        #: statement tracer (disabled unless ``tracing=True`` or an enabled
+        #: tracer is supplied) — see :mod:`repro.telemetry`
+        self.tracer = tracer if tracer is not None else Tracer(enabled=tracing)
         self.parallelism = (default_parallelism() if parallelism is None
                             else max(parallelism, 1))
         self._generator = OptimizerGenerator(self.schema, self.knowledge,
@@ -156,19 +162,23 @@ class Session:
                           parameters: ParameterValues,
                           optimize: bool = True) -> QueryResult:
         """The per-call query pipeline (the router's query runner)."""
-        analyzed = self._bind(analyzed, parameters)
-        translation = translate_query(analyzed)
-        optimization: Optional[OptimizationResult] = None
-        if optimize:
-            optimization = self.optimizer.optimize(translation.plan)
-            physical = optimization.best_plan
-        else:
-            physical = naive_implementation(translation.plan)
+        with self.tracer.span("statement", api="session") as span:
+            analyzed = self._bind(analyzed, parameters)
+            translation = translate_query(analyzed)
+            optimization: Optional[OptimizationResult] = None
+            if optimize:
+                with child_span("optimize"):
+                    optimization = self.optimizer.optimize(translation.plan)
+                physical = optimization.best_plan
+            else:
+                physical = naive_implementation(translation.plan)
 
-        before = self.database.work_snapshot()
-        rows = execute_plan(physical, self.database)
-        after = self.database.work_snapshot()
-        work = {key: after[key] - before.get(key, 0.0) for key in after}
+            before = self.database.work_snapshot()
+            rows = execute_plan(physical, self.database)
+            after = self.database.work_snapshot()
+            work = {key: after[key] - before.get(key, 0.0) for key in after}
+            if span is not None:
+                span.annotate(rows=len(rows), optimized=optimize)
 
         return QueryResult(
             rows=rows,

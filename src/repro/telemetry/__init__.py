@@ -1,0 +1,87 @@
+"""End-to-end telemetry: statement tracing, metrics, slow-query log.
+
+Three cooperating pieces (see DESIGN.md "Telemetry"):
+
+- :mod:`repro.telemetry.spans` — one :class:`TraceSpan` tree per
+  statement (analyze → plan-cache → optimize → compile → execute),
+  ring-buffered by a :class:`Tracer`, exported as JSONL via sinks.
+- :mod:`repro.telemetry.metrics` — :class:`MetricsRegistry` with
+  counters, gauges, latency histograms (p50/p90/p99) and per-fingerprint
+  top-K statement stats; Prometheus-text and JSON export.
+- :mod:`repro.telemetry.slowlog` — threshold-gated structured logging of
+  slow statements (``REPRO_SLOW_QUERY_MS``).
+
+:func:`dump` renders a one-stop human-readable report for a
+``Connection``, ``QueryService``, ``Tracer`` or ``MetricsRegistry``.
+"""
+
+from repro.telemetry.metrics import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge,
+                                     Histogram, MetricsRegistry)
+from repro.telemetry.sinks import JsonlSink, MemorySink
+from repro.telemetry.slowlog import SLOW_QUERY_ENV, SlowQueryLog
+from repro.telemetry.spans import (NOOP_SPAN, TraceSpan, Tracer,
+                                   annotate_current, child_span, current_span)
+
+__all__ = [
+    "TraceSpan", "Tracer", "NOOP_SPAN", "current_span", "child_span",
+    "annotate_current",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "JsonlSink", "MemorySink",
+    "SlowQueryLog", "SLOW_QUERY_ENV",
+    "dump",
+]
+
+
+def dump(target, recent_spans: int = 5) -> str:
+    """Render a human-readable telemetry report for *target*.
+
+    Duck-typed: accepts a ``Connection`` (or anything exposing
+    ``.service``), a ``QueryService`` (``.registry`` / ``.tracer``), a
+    bare :class:`MetricsRegistry` or a bare :class:`Tracer`.
+    """
+    service = getattr(target, "service", target)
+    registry = getattr(service, "registry", None)
+    tracer = getattr(service, "tracer", None)
+    if registry is None and isinstance(target, MetricsRegistry):
+        registry = target
+    if tracer is None and isinstance(target, Tracer):
+        tracer = target
+
+    sections: list[str] = []
+    if registry is not None:
+        sections.append("== metrics ==")
+        sections.append(registry.export_prometheus().rstrip("\n"))
+        top = registry.top_statements(5)
+        if top:
+            sections.append("== top statements ==")
+            for stats in top:
+                sections.append(
+                    f"{stats['fingerprint']}: {stats['count']} calls, "
+                    f"{stats['total_seconds'] * 1000.0:.2f}ms total, "
+                    f"{stats['max_seconds'] * 1000.0:.2f}ms max, "
+                    f"{stats['errors']} errors")
+    if tracer is not None:
+        spans = tracer.recent(recent_spans)
+        sections.append(f"== recent traces ({len(spans)}) ==")
+        for span in spans:
+            sections.append(_render_span(span))
+    if not sections:
+        raise TypeError(
+            f"cannot dump telemetry for {type(target).__name__}: expected a "
+            "Connection, QueryService, MetricsRegistry or Tracer")
+    return "\n".join(sections)
+
+
+def _render_span(span: TraceSpan, indent: int = 0) -> str:
+    detail = ""
+    if span.attributes:
+        rendered = ", ".join(f"{key}={value!r}"
+                             for key, value in sorted(span.attributes.items()))
+        detail = f" [{rendered}]"
+    marker = "" if span.status == "ok" else f" !{span.status}: {span.error}"
+    lines = [f"{'  ' * indent}{span.name} {span.duration_ms:.3f}ms"
+             f"{detail}{marker}"]
+    for child in span.children:
+        lines.append(_render_span(child, indent + 1))
+    return "\n".join(lines)

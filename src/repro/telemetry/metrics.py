@@ -1,0 +1,337 @@
+"""Counters, gauges and fixed-bucket latency histograms.
+
+A :class:`MetricsRegistry` is one service's metric namespace: counters
+(monotonic totals), gauges (point-in-time values, optionally backed by a
+callback so e.g. the plan-cache size is always read live) and
+:class:`Histogram` latency distributions with p50/p90/p99 estimation by
+linear interpolation inside fixed buckets.  Per-statement top-K stats are
+tracked by query fingerprint.
+
+Exports: :meth:`MetricsRegistry.export_json` (nested dict, the
+machine-readable form) and :meth:`MetricsRegistry.export_prometheus`
+(Prometheus text exposition: counters, gauges, histogram buckets plus
+derived ``_p50``/``_p90``/``_p99`` gauges so percentiles are scrapeable
+without server-side histogram_quantile support).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS"]
+
+#: latency bucket upper bounds in seconds (an implicit +Inf bucket closes
+#: the range) — 100µs to 10s, roughly logarithmic, chosen so sub-ms cached
+#: executions and multi-second cold optimizations both resolve
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly (thread-safe) or backed
+    by a zero-argument callback read at export time."""
+
+    __slots__ = ("name", "help", "_value", "_fn", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with percentile estimation.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value (one overflow bucket catches the rest).  ``percentile(q)``
+    interpolates linearly inside the winning bucket; the overflow bucket
+    reports the maximum observed value, so a pathological tail cannot be
+    understated as the last finite bound.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
+                 "_min", "_max", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile *q* in [0, 1] (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= target and bucket_count:
+                    if index >= len(self.buckets):  # overflow bucket
+                        return self._max
+                    low = self.buckets[index - 1] if index else 0.0
+                    high = self.buckets[index]
+                    fraction = (target - (cumulative - bucket_count)) / bucket_count
+                    return low + (high - low) * min(max(fraction, 0.0), 1.0)
+            return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
+            maximum = self._max if count else 0.0
+        cumulative, buckets = 0, {}
+        for bound, bucket_count in zip(self.buckets, counts):
+            cumulative += bucket_count
+            buckets[bound] = cumulative
+        return {
+            "count": count,
+            "sum": total,
+            "max": maximum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": buckets,
+        }
+
+
+class _StatementStats:
+    """Per-fingerprint aggregate (guarded by the registry's statement lock)."""
+
+    __slots__ = ("fingerprint", "count", "errors", "total_seconds",
+                 "max_seconds")
+
+    def __init__(self, fingerprint: str):
+        self.fingerprint = fingerprint
+        self.count = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "count": self.count,
+            "errors": self.errors,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": (self.total_seconds / self.count
+                             if self.count else 0.0),
+            "max_seconds": self.max_seconds,
+        }
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges, histograms and statement stats."""
+
+    def __init__(self, max_statements: int = 512):
+        self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._statements: dict[str, _StatementStats] = {}
+        self._statements_lock = threading.Lock()
+        self.max_statements = max(max_statements, 1)
+
+    # ------------------------------------------------------------------
+    # registration (get-or-create; names are unique across metric kinds)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "",
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        return self._register(name, lambda: Gauge(name, help, fn=fn), Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help, buckets=buckets), Histogram)
+
+    def _register(self, name: str, factory, expected_type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, expected_type):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}")
+            return metric
+
+    # ------------------------------------------------------------------
+    # per-statement top-K stats
+    # ------------------------------------------------------------------
+    def record_statement(self, fingerprint: str, seconds: float,
+                         error: bool = False) -> None:
+        """Fold one execution into the per-fingerprint aggregates.
+
+        The table is bounded: beyond ``max_statements`` distinct
+        fingerprints, the entry with the least accumulated time makes room
+        — top-K reporting only needs the heavy hitters to survive.
+        """
+        with self._statements_lock:
+            stats = self._statements.get(fingerprint)
+            if stats is None:
+                if len(self._statements) >= self.max_statements:
+                    coldest = min(self._statements.values(),
+                                  key=lambda s: s.total_seconds)
+                    del self._statements[coldest.fingerprint]
+                stats = _StatementStats(fingerprint)
+                self._statements[fingerprint] = stats
+            stats.count += 1
+            stats.total_seconds += seconds
+            if seconds > stats.max_seconds:
+                stats.max_seconds = seconds
+            if error:
+                stats.errors += 1
+
+    def top_statements(self, k: int = 10) -> list[dict[str, Any]]:
+        """The *k* statements with the most accumulated execution time."""
+        with self._statements_lock:
+            ranked = sorted(self._statements.values(),
+                            key=lambda s: s.total_seconds, reverse=True)
+        return [stats.as_dict() for stats in ranked[:k]]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export_json(self, top_statements: int = 10) -> dict[str, Any]:
+        """Nested-dict snapshot of every metric plus the top-K statements."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = metric.value
+            else:
+                histograms[metric.name] = metric.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "statements": self.top_statements(top_statements),
+        }
+
+    def export_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {metric.name} counter")
+                lines.append(f"{metric.name} {_format(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {metric.name} gauge")
+                lines.append(f"{metric.name} {_format(metric.value)}")
+            else:
+                snapshot = metric.snapshot()
+                lines.append(f"# TYPE {metric.name} histogram")
+                for bound, cumulative in snapshot["buckets"].items():
+                    lines.append(f'{metric.name}_bucket{{le="{_format(bound)}"}} '
+                                 f"{cumulative}")
+                lines.append(f'{metric.name}_bucket{{le="+Inf"}} '
+                             f"{snapshot['count']}")
+                lines.append(f"{metric.name}_sum {_format(snapshot['sum'])}")
+                lines.append(f"{metric.name}_count {snapshot['count']}")
+                for quantile in ("p50", "p90", "p99"):
+                    lines.append(f"{metric.name}_{quantile} "
+                                 f"{_format(snapshot[quantile])}")
+        return "\n".join(lines) + "\n"
+
+    def export(self, fmt: str = "json"):
+        """Dispatch to :meth:`export_json` / :meth:`export_prometheus`."""
+        if fmt == "json":
+            return self.export_json()
+        if fmt == "prometheus":
+            return self.export_prometheus()
+        raise ValueError(f"unknown metrics export format {fmt!r}")
+
+    def __str__(self) -> str:
+        with self._lock:
+            return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+def _format(value: float) -> str:
+    """Prometheus number formatting: integers without the trailing .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
