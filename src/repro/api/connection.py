@@ -14,13 +14,23 @@ OODB, not a client/server SQL engine):
   expression per result row) rather than 1-tuples; since ``None`` is then
   a possible row value, ``Cursor.exhausted`` (or plain iteration) is the
   unambiguous end-of-results signal, not ``fetchone() is None``;
-* ``Connection.commit`` is a **batch flush**: with ``autocommit=True``
-  (the default) mutations apply immediately and ``commit()`` is a no-op;
-  with ``autocommit=False`` DML is buffered and ``commit()`` applies the
-  whole batch in one pass, collapsing runs of the same INSERT shape into
-  bulk :meth:`~repro.datamodel.database.Database.create_many` loads
-  (``rollback()`` discards the buffer).  There is no isolation: reads
-  always see the applied state;
+* transactions come in two strengths.  ``BEGIN``/``COMMIT``/``ROLLBACK``
+  (or :meth:`Connection.begin`) open a **real transaction**: every
+  statement inside reads the snapshot pinned at ``BEGIN``, mutations are
+  buffered as a write set, and ``COMMIT`` validates first-writer-wins
+  (losing raises :class:`~repro.errors.TransactionConflictError`) before
+  applying everything atomically at one commit timestamp.  One deliberate
+  deviation from read-your-writes SQL: because writes defer to commit, a
+  transaction does not observe its own buffered mutations.
+  ``autocommit=False`` is the lighter legacy mode: DML is buffered and
+  ``commit()`` applies the whole batch atomically in one pass, collapsing
+  runs of the same INSERT shape into bulk
+  :meth:`~repro.datamodel.database.Database.create_many` loads
+  (``rollback()`` discards the buffer) — but statements in between read
+  the latest published state, not a ``BEGIN`` snapshot;
+* reads are snapshot-isolated: every statement (and every open cursor
+  stream, for its whole lifetime) executes against a consistent MVCC
+  snapshot and is never blocked by — or exposed to — concurrent writers;
 * cursors stream: ``fetchone``/``fetchmany``/``fetchall``/iteration pull
   rows lazily from the prepared plan's generator tree instead of a
   materialized row list.
@@ -29,10 +39,13 @@ OODB, not a client/server SQL engine):
 from __future__ import annotations
 
 import time
+import warnings
+from collections import deque
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.api.router import StatementResult
-from repro.errors import ServiceError
+from repro.api.transaction import Transaction, TransactionOp
+from repro.errors import ServiceError, TransactionError
 from repro.datamodel.database import Database
 from repro.optimizer.knowledge import SchemaKnowledge
 from repro.optimizer.search import OptimizerOptions
@@ -79,7 +92,9 @@ class Connection:
         self.database = service.database
         self.router = service.router
         self.autocommit = autocommit
-        self._pending: list[tuple[AnalyzedStatement, list[ParameterValues]]] = []
+        self._pending: deque[tuple[AnalyzedStatement, list[ParameterValues]]] = (
+            deque())
+        self._txn: Optional[Transaction] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -133,43 +148,71 @@ class Connection:
         return self.service.registry.export(fmt)
 
     # ------------------------------------------------------------------
-    # batch flush (commit-style)
+    # transactions (BEGIN/COMMIT/ROLLBACK) and the legacy batch flush
     # ------------------------------------------------------------------
-    def commit(self) -> int:
-        """Apply every buffered mutation; returns the affected row count.
+    def begin(self) -> None:
+        """Open an explicit transaction (``BEGIN``).
 
-        Consecutive buffered executions of the same INSERT shape were
-        already coalesced at buffering time, so a deferred ``executemany``
-        (or a loop of single INSERTs) flushes as one bulk load.
-
-        Entries are removed from the buffer as they apply: if a statement
-        fails mid-flush, the failing entry and everything after it stay
-        buffered (fix the bindings and ``commit()`` again, or
-        ``rollback()``) — already-applied entries are not undone.
+        Every statement until :meth:`commit`/:meth:`rollback` reads the
+        snapshot pinned here; mutations buffer into the transaction's
+        write set and apply atomically at commit after first-writer-wins
+        validation.
         """
         self._check_open()
-        total = 0
-        while self._pending:
-            analyzed, parameter_sets = self._pending[0]
-            if len(parameter_sets) == 1 and analyzed.kind != "insert":
-                result = self.router.execute(analyzed, parameter_sets[0])
-            else:
-                result = self.router.executemany(analyzed, parameter_sets)
-            total += result.rowcount
-            self._pending.pop(0)
+        if self._txn is not None:
+            raise TransactionError("a transaction is already open")
+        if self._pending:
+            raise TransactionError(
+                "cannot BEGIN while the autocommit=False buffer holds "
+                "deferred mutations — commit() or rollback() them first")
+        self._txn = self.service.begin_transaction()
+
+    def commit(self) -> int:
+        """Commit; returns the affected row count.
+
+        With an open ``BEGIN`` transaction this validates the write set
+        first-writer-wins and applies every buffered operation atomically
+        — on :class:`~repro.errors.TransactionConflictError` the
+        transaction is rolled back (nothing had applied) and the error
+        propagates.  Without one, this flushes the ``autocommit=False``
+        buffer: the whole batch applies under one commit scope, so a
+        mid-flush failure undoes everything and leaves the buffer intact
+        (fix the bindings and ``commit()`` again, or ``rollback()``).
+        With ``autocommit=True`` and no transaction it is a no-op.
+        """
+        self._check_open()
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            return self.service.commit_transaction(txn)
+        if not self._pending:
+            return 0
+        total = self.router.apply_batch(list(self._pending))
+        self._pending.clear()
         return total
 
     def rollback(self) -> int:
-        """Discard every buffered mutation; returns the discarded count."""
+        """Discard the open transaction or the deferred buffer; returns
+        the number of discarded mutation statements."""
         self._check_open()
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            discarded = txn.mutation_count
+            self.service.rollback_transaction(txn)
+            return discarded
         discarded = sum(len(sets) for _, sets in self._pending)
         self._pending.clear()
         return discarded
 
     @property
     def in_transaction(self) -> bool:
-        """True when mutations are buffered awaiting :meth:`commit`."""
-        return bool(self._pending)
+        """True inside an explicit transaction, or while mutations are
+        buffered awaiting :meth:`commit`."""
+        return self._txn is not None or bool(self._pending)
+
+    @property
+    def transaction(self) -> Optional[Transaction]:
+        """The open explicit transaction, if any."""
+        return self._txn
 
     def _defer(self, analyzed: AnalyzedStatement,
                parameter_sets: list[ParameterValues]) -> None:
@@ -180,6 +223,32 @@ class Connection:
             self._pending[-1][1].extend(parameter_sets)
         else:
             self._pending.append((analyzed, parameter_sets))
+
+    def _transaction_execute(self, analyzed: AnalyzedStatement,
+                             parameter_sets: list[ParameterValues]) -> int:
+        """Buffer a mutation into the open transaction; returns the row
+        count the statement reports (targets as of the begin snapshot)."""
+        txn = self._txn
+        if analyzed.kind == "insert":
+            last = txn.operations[-1] if txn.operations else None
+            if (last is not None and last.kind == "insert"
+                    and last.analyzed is analyzed):
+                last.parameter_sets.extend(parameter_sets)
+            else:
+                txn.operations.append(TransactionOp(
+                    kind="insert", analyzed=analyzed,
+                    parameter_sets=list(parameter_sets)))
+            return len(parameter_sets)
+        total = 0
+        for parameters in parameter_sets:
+            bindings, targets = self.service.transaction_targets(
+                analyzed, parameters, at=txn.start_ts)
+            txn.operations.append(TransactionOp(
+                kind=analyzed.kind, analyzed=analyzed,
+                bindings=bindings, targets=targets))
+            txn.record_write(targets)
+            total += len(targets)
+        return total
 
     # ------------------------------------------------------------------
     # index DDL convenience (shared datamodel.ddl helper, service-gated)
@@ -199,9 +268,28 @@ class Connection:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the connection; buffered mutations are discarded."""
+        """Close the connection (idempotent).
+
+        An open transaction is rolled back and deferred mutations are
+        discarded; either case emits a :class:`ResourceWarning` naming the
+        discarded count, because silently dropping buffered writes on
+        close is almost always a bug — ``commit()`` or ``rollback()``
+        explicitly first.
+        """
+        if self._closed:
+            return
+        discarded = sum(len(sets) for _, sets in self._pending)
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            discarded += txn.mutation_count
+            self.service.rollback_transaction(txn)
         self._pending.clear()
         self._closed = True
+        if discarded:
+            warnings.warn(
+                f"Connection.close() discarded {discarded} uncommitted "
+                "mutation(s) — call commit() or rollback() before closing",
+                ResourceWarning, stacklevel=2)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -211,9 +299,16 @@ class Connection:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.commit()
-        self.close()
+        # Mirror the transactional contract: a body that raised must not
+        # half-commit its work on the way out — roll back instead.
+        try:
+            if not self._closed:
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+        finally:
+            self.close()
 
     def __str__(self) -> str:
         state = "closed" if self._closed else "open"
@@ -268,12 +363,32 @@ class Cursor:
         except BaseException as exc:
             service.tracer.finish(span, error=exc)
             raise
+        if analyzed.is_transaction_control:
+            try:
+                with activation(span):
+                    self._transaction_control(analyzed.kind)
+            except BaseException as exc:
+                service.tracer.finish(span, error=exc)
+                raise
+            service.tracer.finish(span)
+            return self
+        txn = connection.transaction
         if analyzed.is_query:
             self._stream = service.stream_analyzed(
                 analyzed.query, parameters,
-                analyze_seconds=analyze_seconds, span=span)
+                analyze_seconds=analyze_seconds, span=span,
+                at=txn.start_ts if txn is not None else None)
             self.description = ((self._stream.output_ref,
                                  None, None, None, None, None, None),)
+            return self
+        if txn is not None and analyzed.kind != "explain":
+            try:
+                with activation(span):
+                    self._transaction_mutation(analyzed, [parameters])
+            except BaseException as exc:
+                service.tracer.finish(span, error=exc)
+                raise
+            service.tracer.finish(span)
             return self
         if analyzed.is_mutation and not connection.autocommit:
             service.tracer.finish(span)
@@ -288,6 +403,36 @@ class Cursor:
         service.tracer.finish(span)
         return self
 
+    def _transaction_control(self, kind: str) -> None:
+        """Apply a ``BEGIN``/``COMMIT``/``ROLLBACK`` statement word."""
+        connection = self.connection
+        if kind == "begin":
+            connection.begin()
+            self.rowcount = 0
+        elif kind == "commit":
+            if connection.transaction is None and not connection._pending:
+                raise TransactionError("COMMIT without an open transaction")
+            self.rowcount = connection.commit()
+        else:
+            if connection.transaction is None and not connection._pending:
+                raise TransactionError("ROLLBACK without an open transaction")
+            self.rowcount = connection.rollback()
+
+    def _transaction_mutation(self, analyzed: AnalyzedStatement,
+                              parameter_sets: list[ParameterValues]) -> None:
+        """Route a statement executed inside an open transaction."""
+        connection = self.connection
+        if analyzed.is_mutation:
+            self.rowcount = connection._transaction_execute(analyzed,
+                                                            parameter_sets)
+            return
+        # DDL (and ANALYZE, which mutates shared statistics) is not
+        # transactional: it applies immediately and cannot be rolled back,
+        # so allowing it inside BEGIN would silently break atomicity.
+        raise TransactionError(
+            f"{analyzed.kind.upper()} cannot run inside a transaction — "
+            "COMMIT or ROLLBACK first")
+
     def executemany(self, operation: str,
                     parameter_sets: Iterable[ParameterValues]) -> "Cursor":
         """Execute a DML statement once per parameter set (bulk INSERT
@@ -301,6 +446,9 @@ class Cursor:
                 f"executemany supports INSERT/UPDATE/DELETE, not "
                 f"{analyzed.kind.upper()} statements")
         sets = list(parameter_sets)
+        if connection.transaction is not None:
+            self._transaction_mutation(analyzed, sets)
+            return self
         if not connection.autocommit:
             connection._defer(analyzed, sets)
             return self

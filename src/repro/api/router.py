@@ -39,7 +39,7 @@ from repro.algebra.expressions import Const, Expression, Parameter, bind_paramet
 from repro.datamodel import ddl
 from repro.datamodel.database import Database
 from repro.datamodel.oid import OID
-from repro.errors import ServiceError
+from repro.errors import ServiceError, TransactionError
 from repro.physical.evaluator import evaluate
 from repro.physical.profile import ExplainReport
 from repro.telemetry.spans import child_span
@@ -167,6 +167,10 @@ class StatementRouter:
             report = self.explain(analyzed, optimize=optimize,
                                   parameters=parameters)
             return StatementResult(kind="explain", description=report)
+        if kind in ("begin", "commit", "rollback"):
+            raise TransactionError(
+                f"{kind.upper()} requires a transactional connection — "
+                "execute it through the repro.api Connection/Cursor facade")
         return self._ddl(analyzed, parameters)
 
     def executemany(self, statement: StatementInput,
@@ -253,6 +257,49 @@ class StatementRouter:
     # ------------------------------------------------------------------
     def _insert(self, analyzed: AnalyzedStatement,
                 parameter_sets: list[ParameterValues]) -> StatementResult:
+        rows = self._insert_rows(analyzed, parameter_sets)
+        with child_span("apply", kind="insert", rows=len(rows)):
+            with self._write_guard():
+                created = self._apply_insert(analyzed.class_name, rows)
+        return StatementResult(kind="insert", rowcount=len(created),
+                               oids=tuple(created))
+
+    def _update(self, analyzed: AnalyzedStatement,
+                parameters: ParameterValues,
+                optimize: bool) -> StatementResult:
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        targets = self._matching_oids(analyzed, bindings, optimize)
+        # The WHERE-query above ran against a snapshot; the apply phase
+        # takes the write guard and one commit scope, so concurrent readers
+        # never observe a half-applied statement and a mid-apply failure
+        # rolls the whole statement back.  Targets may drift between the
+        # two phases (autocommit has no long transaction): objects deleted
+        # in the gap are skipped, not crashed on.
+        with child_span("apply", kind="update", targets=len(targets)):
+            with self._write_guard():
+                with self.database.commit_scope():
+                    applied = self._apply_update(analyzed, bindings, targets)
+        return StatementResult(kind="update", rowcount=len(applied),
+                               oids=tuple(applied))
+
+    def _delete(self, analyzed: AnalyzedStatement,
+                parameters: ParameterValues,
+                optimize: bool) -> StatementResult:
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        targets = self._matching_oids(analyzed, bindings, optimize)
+        with child_span("apply", kind="delete", targets=len(targets)):
+            with self._write_guard():
+                with self.database.commit_scope():
+                    applied = self._apply_delete(targets)
+        return StatementResult(kind="delete", rowcount=len(applied),
+                               oids=tuple(applied))
+
+    # ------------------------------------------------------------------
+    # guard-less apply helpers (callers own the write guard / commit scope)
+    # ------------------------------------------------------------------
+    def _insert_rows(self, analyzed: AnalyzedStatement,
+                     parameter_sets: list[ParameterValues]) -> list[dict]:
+        """Evaluate an INSERT's value rows (no database mutation)."""
         getters = analyzed.cache.get("insert_getters")
         if getters is None:
             getters = [(prop, self._value_getter(expr))
@@ -262,61 +309,104 @@ class StatementRouter:
         for parameters in parameter_sets:
             bindings = resolve_bindings(analyzed.parameters, parameters)
             rows.append({prop: getter(bindings) for prop, getter in getters})
-        class_name = analyzed.class_name
-        with child_span("apply", kind="insert", rows=len(rows)):
-            with self._write_guard():
-                if len(rows) == 1:
-                    created = [self.database.create(class_name, **rows[0])]
-                else:
-                    created = self.database.create_many(class_name, rows)
-        return StatementResult(kind="insert", rowcount=len(created),
-                               oids=tuple(created))
+        return rows
 
-    def _update(self, analyzed: AnalyzedStatement,
-                parameters: ParameterValues,
-                optimize: bool) -> StatementResult:
-        bindings = resolve_bindings(analyzed.parameters, parameters)
-        targets = self._matching_oids(analyzed, bindings, optimize)
+    def _apply_insert(self, class_name: str, rows: list[dict]) -> list[OID]:
+        if len(rows) == 1:
+            return [self.database.create(class_name, **rows[0])]
+        return self.database.create_many(class_name, rows)
+
+    def _apply_update(self, analyzed: AnalyzedStatement, bindings,
+                      targets) -> list[OID]:
         getters = analyzed.cache.get("update_getters")
         if getters is None:
             getters = [(prop, self._value_getter(expr, row_expr=True))
                        for prop, expr in analyzed.assignments]
             analyzed.cache["update_getters"] = getters
         alias = analyzed.alias
-        # The WHERE-query above ran under the owner's read discipline; the
-        # apply phase takes the write guard so concurrent readers never
-        # observe a half-maintained object.  Targets may drift between the
-        # two phases (no long transactions): objects deleted in the gap are
-        # skipped, not crashed on.
         applied: list[OID] = []
-        with child_span("apply", kind="update", targets=len(targets)):
-            with self._write_guard():
-                for oid in targets:
-                    if not self.database.exists(oid):
-                        continue
-                    row = {alias: oid}
-                    values = {prop: getter(bindings, row)
-                              for prop, getter in getters}
-                    self.database.update(oid, **values)
-                    applied.append(oid)
-        return StatementResult(kind="update", rowcount=len(applied),
-                               oids=tuple(applied))
+        for oid in targets:
+            if not self.database.exists(oid):
+                continue  # deleted since the targets were resolved
+            row = {alias: oid}
+            values = {prop: getter(bindings, row)
+                      for prop, getter in getters}
+            self.database.update(oid, **values)
+            applied.append(oid)
+        return applied
 
-    def _delete(self, analyzed: AnalyzedStatement,
-                parameters: ParameterValues,
-                optimize: bool) -> StatementResult:
-        bindings = resolve_bindings(analyzed.parameters, parameters)
-        targets = self._matching_oids(analyzed, bindings, optimize)
+    def _apply_delete(self, targets) -> list[OID]:
         applied: list[OID] = []
-        with child_span("apply", kind="delete", targets=len(targets)):
+        for oid in targets:
+            if not self.database.exists(oid):
+                continue  # deleted since the targets were resolved
+            self.database.delete(oid)
+            applied.append(oid)
+        return applied
+
+    # ------------------------------------------------------------------
+    # atomic multi-statement apply (deferred buffers and transactions)
+    # ------------------------------------------------------------------
+    def apply_batch(self, entries) -> int:
+        """Apply a deferred ``autocommit=False`` buffer atomically.
+
+        *entries* is a list of ``(analyzed, parameter_sets)`` pairs.  The
+        whole buffer applies under one write guard and one commit scope:
+        either every statement applies (at one commit timestamp) or — on
+        the first failure — the scope's undo log restores the database
+        byte-identically and the caller's buffer is left untouched.
+        UPDATE/DELETE WHERE-queries resolve *inside* the scope, so later
+        statements of the batch observe the effects of earlier ones.
+        """
+        total = 0
+        with child_span("apply", kind="batch", statements=len(entries)):
             with self._write_guard():
-                for oid in targets:
-                    if not self.database.exists(oid):
-                        continue  # deleted since the WHERE-query ran
-                    self.database.delete(oid)
-                    applied.append(oid)
-        return StatementResult(kind="delete", rowcount=len(applied),
-                               oids=tuple(applied))
+                with self.database.commit_scope():
+                    for analyzed, parameter_sets in entries:
+                        if analyzed.kind == "insert":
+                            rows = self._insert_rows(analyzed, parameter_sets)
+                            total += len(self._apply_insert(
+                                analyzed.class_name, rows))
+                            continue
+                        for parameters in parameter_sets:
+                            bindings = resolve_bindings(analyzed.parameters,
+                                                        parameters)
+                            targets = self._matching_oids(analyzed, bindings,
+                                                          True)
+                            if analyzed.kind == "update":
+                                total += len(self._apply_update(
+                                    analyzed, bindings, targets))
+                            else:
+                                total += len(self._apply_delete(targets))
+        return total
+
+    def apply_transaction(self, operations) -> int:
+        """Apply a validated transaction's buffered operations.
+
+        The caller (the service's commit path) already holds the write
+        guard and has validated the write set first-writer-wins; this
+        method only owns atomicity: one commit scope covers every
+        operation, so an apply failure rolls the whole transaction back.
+        Targets were resolved against the begin snapshot when the
+        transaction executed each statement; objects the transaction
+        itself deleted earlier in its own sequence are skipped.
+        """
+        total = 0
+        with child_span("apply", kind="transaction",
+                        operations=len(operations)):
+            with self.database.commit_scope():
+                for op in operations:
+                    if op.kind == "insert":
+                        rows = self._insert_rows(op.analyzed,
+                                                 op.parameter_sets)
+                        total += len(self._apply_insert(
+                            op.analyzed.class_name, rows))
+                    elif op.kind == "update":
+                        total += len(self._apply_update(
+                            op.analyzed, op.bindings, op.targets))
+                    else:
+                        total += len(self._apply_delete(op.targets))
+        return total
 
     def _matching_oids(self, analyzed: AnalyzedStatement,
                        bindings: Mapping[str, Any],

@@ -1,0 +1,94 @@
+"""Client-side transaction state for the deferred-write MVCC protocol.
+
+A :class:`Transaction` is opened by ``BEGIN`` (or
+:meth:`repro.api.connection.Connection.begin`): it pins the database
+snapshot published at that moment and buffers every mutation as a
+:class:`TransactionOp` instead of applying it.  Statements inside the
+transaction — queries and the WHERE clauses of its own UPDATE/DELETE
+statements — all read that one begin snapshot, so the transaction sees a
+stable world regardless of concurrent committers.  At ``COMMIT`` the
+service validates the write set first-writer-wins (any target object
+committed past the begin snapshot by someone else aborts this
+transaction with :class:`~repro.errors.TransactionConflictError`) and
+applies every buffered operation atomically under the write gate in one
+commit scope.  ``ROLLBACK`` merely drops the buffer and releases the
+snapshot — nothing was applied early, so there is nothing to undo.
+
+One documented deviation from read-your-writes SQL transactions: because
+writes are deferred, a transaction does **not** observe its own buffered
+mutations; every read answers as of the begin snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.datamodel.oid import OID
+from repro.vql.analyzer import AnalyzedStatement
+
+__all__ = ["Transaction", "TransactionOp"]
+
+
+@dataclass
+class TransactionOp:
+    """One buffered mutation of a transaction.
+
+    ``insert`` carries its raw parameter sets (values are computed at
+    apply time, exactly like the autocommit path); ``update``/``delete``
+    carry the bindings and the target OIDs that were resolved against the
+    begin snapshot when the statement executed — the write set the commit
+    validates is the union of these targets.
+    """
+
+    kind: str
+    analyzed: AnalyzedStatement
+    parameter_sets: list = field(default_factory=list)
+    bindings: Optional[dict] = None
+    targets: tuple[OID, ...] = ()
+
+
+class Transaction:
+    """An open deferred-write transaction (see the module docstring)."""
+
+    __slots__ = ("database", "start_ts", "state", "operations", "_write_set",
+                 "_released")
+
+    def __init__(self, database, start_ts: int):
+        self.database = database
+        #: the snapshot every statement of this transaction reads
+        self.start_ts = start_ts
+        #: ``active`` → ``committed`` | ``rolled back``
+        self.state = "active"
+        self.operations: list[TransactionOp] = []
+        # dict-as-ordered-set: validation order == first-touch order
+        self._write_set: dict[OID, None] = {}
+        self._released = False
+
+    @property
+    def write_set(self) -> tuple[OID, ...]:
+        """Every object OID this transaction will mutate at commit."""
+        return tuple(self._write_set)
+
+    @property
+    def mutation_count(self) -> int:
+        """Buffered mutation statements (insert parameter sets count
+        individually, mirroring the legacy buffer's accounting)."""
+        total = 0
+        for op in self.operations:
+            total += len(op.parameter_sets) if op.kind == "insert" else 1
+        return total
+
+    def record_write(self, oids: Iterable[OID]) -> None:
+        for oid in oids:
+            self._write_set.setdefault(oid)
+
+    def release(self) -> None:
+        """Release the begin-snapshot pin (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.database.release_snapshot(self.start_ts)
+
+    def __str__(self) -> str:
+        return (f"Transaction(start_ts={self.start_ts}, {self.state}, "
+                f"{len(self.operations)} op(s))")

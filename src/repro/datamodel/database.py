@@ -8,9 +8,11 @@ performs so that query plans can be compared quantitatively.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.datamodel.indexes import HashIndex, IndexRegistry, SortedIndex
 from repro.datamodel.ir import InvertedTextIndex
@@ -33,7 +35,14 @@ from repro.datamodel.statistics import (
     DatabaseStatistics,
     StatisticsCatalog,
 )
+from repro.datamodel.versioning import (
+    CommitClock,
+    SnapshotIndexView,
+    current_pin,
+    pinned,
+)
 from repro.errors import (
+    IndexError_,
     MethodInvocationError,
     ObjectNotFoundError,
     SchemaError,
@@ -41,6 +50,11 @@ from repro.errors import (
 )
 
 __all__ = ["Database", "InvocationContext", "VersionClock"]
+
+#: commits between global prunes of version chains / the mutation log
+_PRUNE_INTERVAL = 64
+#: mutation-log length that forces a prune regardless of the interval
+_PRUNE_LOG_LIMIT = 4096
 
 
 @dataclass
@@ -68,6 +82,26 @@ class VersionClock:
 
     def snapshot(self) -> tuple[int, int, int, int]:
         return (self.schema, self.index, self.data, self.stats)
+
+
+class _CommitScope:
+    """One in-flight commit: its timestamp plus an undo log.
+
+    Mutations append inverse actions to ``undo``; if the scope body raises,
+    the actions run in reverse and the timestamp is never published, so the
+    failure is invisible both to concurrent snapshot readers and to any
+    reader arriving afterwards.  Nested mutator calls on the owning thread
+    join the scope (``depth``) instead of allocating a new timestamp — a
+    multi-object statement or a transaction commit is one commit.
+    """
+
+    __slots__ = ("ts", "owner", "depth", "undo")
+
+    def __init__(self, ts: int, owner: int) -> None:
+        self.ts = ts
+        self.owner = owner
+        self.depth = 1
+        self.undo: list = []
 
 
 class InvocationContext:
@@ -120,6 +154,266 @@ class Database:
         self.stats_catalog = StatisticsCatalog()
         self.versions = VersionClock()
         self._context = InvocationContext(self)
+        # ---- MVCC state (see repro.datamodel.versioning) -------------
+        #: monotonic commit timestamps; readers pin ``clock.published``
+        self.clock = CommitClock()
+        #: per-object version chains: ``oid -> [(begin_ts, values), ...]``
+        #: in append order; the entry with the largest ``begin_ts <= S``
+        #: is the version a reader pinned at S observes when the live
+        #: object is newer (or gone)
+        self._history: dict[OID, list[tuple[int, dict[str, Any]]]] = {}
+        #: deleted objects still visible to old snapshots:
+        #: ``oid -> (created_ts, end_ts)``
+        self._ends: dict[OID, tuple[int, int]] = {}
+        #: extension entries removed by deletes, per class:
+        #: ``class -> [(oid, created_ts, end_ts), ...]``
+        self._removed: dict[str, list[tuple[OID, int, int]]] = {}
+        #: mutation log ``(ts, class_name, oid)`` appended *before* each
+        #: structural change; snapshot index views use it to find objects
+        #: whose index entries moved after a snapshot.  Entries from
+        #: aborted scopes stay behind as harmless phantoms (visibility
+        #: filtering drops them) until pruned.
+        self._mlog: list[tuple[int, str, OID]] = []
+        #: the single in-flight commit scope (writers are serialized by
+        #: the service's write gate; standalone mutations self-scope)
+        self._scope: Optional[_CommitScope] = None
+        #: refcounts of registered snapshot pins, for prune watermarks
+        self._pin_counts: dict[int, int] = {}
+        self._pin_lock = threading.Lock()
+        self._commits_since_prune = 0
+
+    # ------------------------------------------------------------------
+    # commit scopes (MVCC write side)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def commit_scope(self) -> Iterator[_CommitScope]:
+        """Group mutations into one atomic, publish-after-apply commit.
+
+        The scope allocates the next commit timestamp *before* any mutation
+        runs; every versioned entry written inside carries that timestamp,
+        which concurrent snapshot readers (pinned at ``clock.published``)
+        treat as "not yet visible".  On success the timestamp is published
+        in one step; on failure the undo log runs in reverse and the clock
+        is reset, so nothing of the scope was ever observable.  Reentrant
+        on the owning thread: nested mutator calls join the open scope.
+        """
+        scope = self._scope
+        if scope is not None and scope.owner == threading.get_ident():
+            scope.depth += 1
+            try:
+                yield scope
+            finally:
+                scope.depth -= 1
+            return
+        scope = _CommitScope(self.clock.begin(), threading.get_ident())
+        self._scope = scope
+        try:
+            yield scope
+        except BaseException:
+            self._abort_scope(scope)
+            raise
+        else:
+            self._scope = None
+            self.clock.publish(scope.ts)
+            self._maybe_prune()
+
+    def _abort_scope(self, scope: _CommitScope) -> None:
+        try:
+            for undo in reversed(scope.undo):
+                undo()
+        finally:
+            self._scope = None
+            self.clock.reset_after_abort()
+
+    def in_commit_scope(self) -> bool:
+        """True when the calling thread owns the open commit scope."""
+        scope = self._scope
+        return scope is not None and scope.owner == threading.get_ident()
+
+    # ------------------------------------------------------------------
+    # snapshot pins (MVCC read side)
+    # ------------------------------------------------------------------
+    def acquire_snapshot(self, ts: Optional[int] = None) -> int:
+        """Register a long-lived snapshot (streamed cursor, transaction).
+
+        Registered snapshots hold back version-chain pruning; every
+        :meth:`acquire_snapshot` needs a matching :meth:`release_snapshot`.
+        """
+        with self._pin_lock:
+            if ts is None:
+                ts = self.clock.published
+            self._pin_counts[ts] = self._pin_counts.get(ts, 0) + 1
+        return ts
+
+    def release_snapshot(self, ts: int) -> None:
+        with self._pin_lock:
+            count = self._pin_counts.get(ts, 0) - 1
+            if count <= 0:
+                self._pin_counts.pop(ts, None)
+            else:
+                self._pin_counts[ts] = count
+
+    @contextmanager
+    def snapshot_scope(self, ts: Optional[int] = None) -> Iterator[int]:
+        """Register a snapshot and pin the calling thread to it."""
+        ts = self.acquire_snapshot(ts)
+        try:
+            with pinned(self, ts):
+                yield ts
+        finally:
+            self.release_snapshot(ts)
+
+    def pin_snapshot(self, ts: int):
+        """Pin the calling thread to an already-registered snapshot."""
+        return pinned(self, ts)
+
+    def _pinned_ts(self) -> Optional[int]:
+        pin = current_pin()
+        if pin is None or pin.database is not self:
+            return None
+        return pin.ts
+
+    def _oldest_pin(self) -> Optional[int]:
+        with self._pin_lock:
+            return min(self._pin_counts) if self._pin_counts else None
+
+    def _maybe_prune(self) -> None:
+        self._commits_since_prune += 1
+        if (self._commits_since_prune < _PRUNE_INTERVAL
+                and len(self._mlog) < _PRUNE_LOG_LIMIT):
+            return
+        self._commits_since_prune = 0
+        watermark = self._oldest_pin()
+        if watermark is None:
+            watermark = self.clock.published
+        # Rebind rather than mutate in place: concurrent readers may hold
+        # references to the old structures and must keep seeing them whole.
+        if self._mlog:
+            self._mlog = [entry for entry in self._mlog
+                          if entry[0] > watermark]
+        if self._ends:
+            self._ends = {oid: span for oid, span in self._ends.items()
+                          if span[1] > watermark}
+        if self._removed:
+            removed: dict[str, list[tuple[OID, int, int]]] = {}
+            for cls, entries in self._removed.items():
+                kept = [entry for entry in entries if entry[2] > watermark]
+                if kept:
+                    removed[cls] = kept
+            self._removed = removed
+        if self._history:
+            history: dict[OID, list[tuple[int, dict[str, Any]]]] = {}
+            ends = self._ends
+            for oid, chain in self._history.items():
+                obj = self._objects.get(oid)
+                if obj is None and oid not in ends:
+                    continue  # deleted and no snapshot can still see it
+                # Drop every entry superseded (by a later chain entry or by
+                # the live object) at or below the watermark: no registered
+                # snapshot can reach it any more.
+                keep_from = 0
+                for position in range(len(chain) - 1, -1, -1):
+                    if chain[position][0] <= watermark:
+                        keep_from = position
+                        break
+                kept = chain[keep_from:]
+                if (obj is not None and len(kept) == 1
+                        and obj.begin_ts <= watermark):
+                    continue  # the live version already covers the range
+                history[oid] = kept
+            self._history = history
+
+    # ------------------------------------------------------------------
+    # snapshot reads (MVCC read side)
+    # ------------------------------------------------------------------
+    def visible_at(self, oid: OID, ts: int) -> bool:
+        """Was *oid* a live object at snapshot *ts*?"""
+        obj = self._objects.get(oid)
+        if obj is not None and obj.created_ts <= ts:
+            return True
+        span = self._ends.get(oid)
+        return span is not None and span[0] <= ts < span[1]
+
+    def value_at(self, oid: OID, prop: str, ts: int) -> Any:
+        """Read ``oid.prop`` as of snapshot *ts*.
+
+        Fast path: the live version is old enough and its ``begin_ts`` is
+        unchanged across the value read (seqlock — writers append the
+        pre-image to the chain *before* flipping ``begin_ts``, so an
+        unchanged stamp proves the value belongs to that version).
+        """
+        obj = self._objects.get(oid)
+        if obj is not None:
+            begin = obj.begin_ts
+            if begin <= ts:
+                value = obj.values.get(prop)
+                if obj.begin_ts == begin:
+                    return value
+            # Either the live version is newer than the snapshot or a
+            # writer flipped the stamp mid-read; in both cases the chain
+            # already holds the version this snapshot needs.
+        version = self._chain_version_at(oid, ts)
+        if version is None:
+            raise ObjectNotFoundError(
+                f"no object with OID {oid} at snapshot {ts}")
+        return version.get(prop)
+
+    def _chain_version_at(self, oid: OID,
+                          ts: int) -> Optional[dict[str, Any]]:
+        chain = self._history.get(oid)
+        if chain is None:
+            return None
+        # Atomic copy under the GIL; writers only ever append.  Scan from
+        # the end: the latest entry with ``begin_ts <= ts`` supersedes any
+        # earlier one carrying the same stamp (mid-scope intermediates).
+        for begin, values in reversed(list(chain)):
+            if begin <= ts:
+                return values
+        return None
+
+    def last_write_ts(self, oid: OID) -> Optional[int]:
+        """Commit timestamp of the last write to *oid* (None if unknown,
+        e.g. the object never existed or its chain was pruned away)."""
+        obj = self._objects.get(oid)
+        if obj is not None:
+            return obj.begin_ts
+        span = self._ends.get(oid)
+        if span is not None:
+            return span[1]
+        return None
+
+    def mutated_candidates(self, class_name: str, ts: int) -> list[OID]:
+        """OIDs in *class_name*'s subtree touched by commits after *ts*.
+
+        Read from the tail of the mutation log; used by snapshot index
+        views to recover entries the live index no longer holds under
+        their snapshot-time key.  May contain phantoms from aborted
+        scopes — callers re-check visibility/values at the snapshot.
+        """
+        log = self._mlog
+        result: list[OID] = []
+        subtree: Optional[set[str]] = None
+        for position in range(len(log) - 1, -1, -1):
+            entry_ts, cls, oid = log[position]
+            if entry_ts <= ts:
+                break
+            if subtree is None:
+                subtree = {class_name}
+                subtree.update(
+                    other for other in self.schema.classes
+                    if other != class_name
+                    and self._inherits_from(other, class_name))
+            if cls in subtree:
+                result.append(oid)
+        return result
+
+    def index_view(self, index):
+        """Wrap *index* for the calling thread's snapshot pin (the raw
+        index when unpinned — the common, gate-free current-state read)."""
+        ts = self._pinned_ts()
+        if ts is None:
+            return index
+        return SnapshotIndexView(self, index, ts)
 
     # ------------------------------------------------------------------
     # object lifecycle
@@ -143,17 +437,63 @@ class Database:
                 raise TypeMismatchError(
                     f"value {value!r} for {class_name}.{prop_name} does not "
                     f"conform to {prop_def.vml_type}")
-        oid = self._allocator.allocate(class_name)
-        obj = DatabaseObject(oid=oid, values=dict(values))
-        self._objects[oid] = obj
-        self._extensions[class_name].append(oid)
-        self.partitions.add(class_name, oid)
-        self.statistics.record_object_created()
-        self.versions.data += 1
-        self._note_stats_mutation(class_name)
-        self._index_new_object(class_name, oid, values)
+        with self.commit_scope() as scope:
+            ts = scope.ts
+            oid = self._allocator.allocate(class_name)
+            self._mlog.append((ts, class_name, oid))
+            obj = DatabaseObject(oid=oid, values=dict(values),
+                                 begin_ts=ts, created_ts=ts)
+            self._objects[oid] = obj
+            self._extensions[class_name].append(oid)
+            self.partitions.add(class_name, oid)
+            scope.undo.append(lambda: self._undo_create(class_name, oid))
+            self.statistics.record_object_created()
+            self.versions.data += 1
+            scope.undo.append(lambda: self._unsettle_created(1))
+            self._note_stats_mutation(class_name)
+            self._index_new_object(class_name, oid, values)
         del class_def  # looked up only for existence checking
         return oid
+
+    def _undo_create(self, class_name: str, oid: OID) -> None:
+        obj = self._objects.pop(oid, None)
+        if obj is None:
+            return
+        self._unindex_tolerant(class_name, oid, obj.values)
+        extension = self._extensions.get(class_name)
+        if extension is not None:
+            try:
+                extension.remove(oid)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        try:
+            self.partitions.remove(class_name, oid)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._allocator.release_last(class_name, oid.serial)
+
+    def _unsettle_created(self, count: int) -> None:
+        """Undo the counter settle of created objects (aborted scope)."""
+        self.statistics.objects_created -= count
+        self.versions.data -= count
+
+    def _unindex_tolerant(self, class_name: str, oid: OID,
+                          values: dict[str, Any]) -> None:
+        """Remove *oid* from all covering indexes, tolerating entries that
+        were never inserted (undo of a partially indexed object)."""
+        for prop_name, value in values.items():
+            if value is None:
+                continue
+            for owner in self._class_and_ancestors(class_name):
+                index = self.indexes.get(owner, prop_name)
+                if index is not None:
+                    try:
+                        index.remove(value, oid)
+                    except IndexError_:
+                        pass
+                engine = self._text_indexes.get((owner, prop_name))
+                if engine is not None:
+                    engine.remove(oid)
 
     def _index_new_object(self, class_name: str, oid: OID,
                           values: dict[str, Any]) -> None:
@@ -180,12 +520,12 @@ class Database:
         schema lookups, type validators, ancestor chain and index/text-index
         targets are resolved once for the batch instead of once per object —
         this is the fast path behind the statement API's ``executemany``
-        INSERT.  Every row is validated before any object is created, so a
-        *type* error in row *k* leaves the database untouched
-        (index-maintenance errors surface mid-batch with the same partial
-        effect they have in :meth:`create`).  The data version advances by
-        the number of created objects (same plan-cache drift as individual
-        creates).
+        INSERT.  Every row is validated before any object is created, and
+        the whole batch runs in one commit scope: an index-maintenance
+        error mid-batch (possible on ANY-typed properties with uncomparable
+        keys) undoes every row already landed, so the batch is atomic.  The
+        data version advances by the number of created objects (same
+        plan-cache drift as individual creates).
         """
         self.schema.get_class(class_name)  # existence check
         materialized = [dict(row) for row in rows]
@@ -231,17 +571,19 @@ class Database:
         partitioned = self.partitions.for_class(class_name)
         allocate = self._allocator.allocate
         created: list[OID] = []
-        # Statistics and the data-version tick are settled in the finally
-        # block so that an index-maintenance error mid-batch (possible on
-        # ANY-typed properties with uncomparable keys, exactly as in
-        # :meth:`create`) still counts every object that landed — cached
-        # plans must see the drift.
-        try:
+        undo_create = self._undo_create
+        with self.commit_scope() as scope:
+            ts = scope.ts
+            mlog = self._mlog
+            undo = scope.undo
             for row in materialized:
                 oid = allocate(class_name)
-                objects[oid] = DatabaseObject(oid=oid, values=row)
+                mlog.append((ts, class_name, oid))
+                objects[oid] = DatabaseObject(oid=oid, values=row,
+                                              begin_ts=ts, created_ts=ts)
                 extension.append(oid)
                 partitioned.add(oid)
+                undo.append(lambda oid=oid: undo_create(class_name, oid))
                 created.append(oid)
                 for prop, value in row.items():
                     if value is None:
@@ -253,9 +595,9 @@ class Database:
                         text = str(value)
                         for engine in engines:
                             engine.index_text(oid, text)
-        finally:
             self.statistics.objects_created += len(created)
             self.versions.data += len(created)
+            undo.append(lambda n=len(created): self._unsettle_created(n))
             self._note_stats_mutation(class_name, len(created))
         return created
 
@@ -285,22 +627,74 @@ class Database:
         obj = self.get(oid)
         class_name = obj.class_name
         owners = set(self._class_and_ancestors(class_name))
-        for prop_name, value in list(obj.values.items()):
-            if value is None:
-                continue  # None values are never in hash/sorted indexes
-            for owner in owners:
-                self.indexes.notify_remove(owner, prop_name, value, oid)
-        # Text indexes are keyed by OID alone, so removal must not depend on
-        # the current property value (which may have been set to None).
-        for (owner, _prop), engine in self._text_indexes.items():
-            if owner in owners:
-                engine.remove(oid)
-        del self._objects[oid]
-        self._extensions[class_name].remove(oid)
-        self.partitions.remove(class_name, oid)
-        self.statistics.record_object_deleted()
-        self.versions.data += 1
-        self._note_stats_mutation(class_name)
+        with self.commit_scope() as scope:
+            ts = scope.ts
+            self._mlog.append((ts, class_name, oid))
+            # Index/text removals are undone entry-by-entry: the loops can
+            # fail part-way, and re-inserting entries that were never
+            # removed would corrupt the indexes.
+            removed_entries: list[tuple[Any, str, Any]] = []
+            scope.undo.append(
+                lambda: self._undo_index_removals(removed_entries))
+            for prop_name, value in list(obj.values.items()):
+                if value is None:
+                    continue  # None values are never in hash/sorted indexes
+                for owner in owners:
+                    index = self.indexes.get(owner, prop_name)
+                    if index is not None:
+                        index.remove(value, oid)
+                        removed_entries.append((index, value, oid))
+            # Text indexes are keyed by OID alone, so removal must not
+            # depend on the current property value (which may be None now).
+            for (owner, prop_name), engine in self._text_indexes.items():
+                if owner in owners:
+                    content = obj.values.get(prop_name)
+                    engine.remove(oid)
+                    if content is not None:
+                        removed_entries.append((engine, None, (oid, content)))
+            # Preserve the final version for pinned readers, then mark the
+            # object's end *before* unlinking it so a concurrent snapshot
+            # read that misses ``_objects`` finds the end marker.
+            chain = self._history.setdefault(oid, [])
+            chain.append((obj.begin_ts, dict(obj.values)))
+            self._ends[oid] = (obj.created_ts, ts)
+            self._removed.setdefault(class_name, []).append(
+                (oid, obj.created_ts, ts))
+            extension = self._extensions[class_name]
+            extension_pos = extension.index(oid)
+            partition_pos = self.partitions.position_of(class_name, oid)
+            del self._objects[oid]
+            extension.remove(oid)
+            self.partitions.remove(class_name, oid)
+            scope.undo.append(lambda: self._undo_delete(
+                class_name, oid, obj, extension_pos, partition_pos))
+            self.statistics.record_object_deleted()
+            self.versions.data += 1
+            scope.undo.append(lambda: self._unsettle_deleted())
+            self._note_stats_mutation(class_name)
+
+    def _undo_index_removals(
+            self, removed_entries: list[tuple[Any, str, Any]]) -> None:
+        for target, value, payload in reversed(removed_entries):
+            if value is None:  # text engine: payload is (oid, content)
+                oid, content = payload
+                target.index_text(oid, str(content))
+            else:
+                target.insert(value, payload)
+
+    def _undo_delete(self, class_name: str, oid: OID, obj: DatabaseObject,
+                     extension_pos: int, partition_pos: int) -> None:
+        self._objects[oid] = obj
+        self._ends.pop(oid, None)
+        removed = self._removed.get(class_name)
+        if removed and removed[-1][0] == oid:
+            removed.pop()
+        self._extensions[class_name].insert(extension_pos, oid)
+        self.partitions.restore(class_name, oid, partition_pos)
+
+    def _unsettle_deleted(self) -> None:
+        self.statistics.objects_deleted -= 1
+        self.versions.data -= 1
 
     def get(self, oid: OID) -> DatabaseObject:
         try:
@@ -318,7 +712,19 @@ class Database:
     # property access
     # ------------------------------------------------------------------
     def value(self, oid: OID, prop: str) -> Any:
-        """Read a property value (the system-provided default read method)."""
+        """Read a property value (the system-provided default read method).
+
+        Answers as of the calling thread's snapshot pin when one is active;
+        otherwise reads the live state (writer threads and unpinned
+        callers).
+        """
+        ts = self._pinned_ts()
+        if ts is not None:
+            if not self.schema.has_property(oid.class_name, prop):
+                raise SchemaError(
+                    f"class {oid.class_name!r} has no property {prop!r}")
+            self.statistics.record_property_read()
+            return self.value_at(oid, prop, ts)
         obj = self.get(oid)
         self.statistics.record_property_read()
         if not self.schema.has_property(obj.class_name, prop):
@@ -349,31 +755,77 @@ class Database:
                 raise TypeMismatchError(
                     f"value {value!r} for {class_name}.{prop} does not "
                     f"conform to {prop_def.vml_type}")
-        previous = {prop: (obj.has(prop), obj.get_or_none(prop))
-                    for prop in values}
-        for prop, value in values.items():
-            obj.set(prop, value)
-            self.statistics.record_property_write()
-        self.partitions.record_write(class_name, oid)
-        self.versions.data += 1
-        self._note_stats_mutation(class_name)
-        for owner in self._class_and_ancestors(class_name):
+        with self.commit_scope() as scope:
+            ts = scope.ts
+            previous = {prop: (obj.has(prop), obj.get_or_none(prop))
+                        for prop in values}
+            self._mlog.append((ts, class_name, oid))
+            # Version-chain discipline: append the pre-image, *then* flip
+            # ``begin_ts``, *then* mutate the values.  A snapshot reader
+            # that observes an unchanged ``begin_ts`` across its value read
+            # is guaranteed a consistent version; one that observes the
+            # flip finds the pre-image already in the chain.
+            old_begin = obj.begin_ts
+            pre_image = dict(obj.values)
+            self._history.setdefault(oid, []).append((old_begin, pre_image))
+            obj.begin_ts = ts
             for prop, value in values.items():
-                index = self.indexes.get(owner, prop)
-                if index is not None:
-                    # None values are never indexed (see _index_new_object),
-                    # so transitions to/from None are plain removes/inserts.
-                    had, old = previous[prop]
-                    if had and old is not None:
-                        if value is not None:
-                            index.update(old, value, oid)
-                        else:
-                            index.remove(old, oid)
-                    elif value is not None:
-                        index.insert(value, oid)
-                engine = self._text_indexes.get((owner, prop))
-                if engine is not None:
-                    engine.index_text(oid, str(value))
+                obj.set(prop, value)
+                self.statistics.record_property_write()
+            # Index maintenance can fail part-way (ANY-typed properties
+            # with uncomparable keys on a sorted index), so the applied
+            # operations are collected as they happen and the undo inverts
+            # exactly those, then restores values and the version stamp.
+            applied_ops: list[tuple[str, Any, Any, Any]] = []
+            scope.undo.append(lambda: self._undo_update(
+                obj, old_begin, pre_image, values, applied_ops))
+            self.partitions.record_write(class_name, oid)
+            self.versions.data += 1
+            self._note_stats_mutation(class_name)
+            for owner in self._class_and_ancestors(class_name):
+                for prop, value in values.items():
+                    index = self.indexes.get(owner, prop)
+                    if index is not None:
+                        # None values are never indexed (see
+                        # _index_new_object), so transitions to/from None
+                        # are plain removes/inserts.
+                        had, old = previous[prop]
+                        if had and old is not None:
+                            if value is not None:
+                                index.update(old, value, oid)
+                                applied_ops.append(("update", index, old, value))
+                            else:
+                                index.remove(old, oid)
+                                applied_ops.append(("remove", index, old, None))
+                        elif value is not None:
+                            index.insert(value, oid)
+                            applied_ops.append(("insert", index, value, None))
+                    engine = self._text_indexes.get((owner, prop))
+                    if engine is not None:
+                        had, old = previous[prop]
+                        engine.index_text(oid, str(value))
+                        applied_ops.append(("text", engine, old if had else None, None))
+
+    def _undo_update(self, obj: DatabaseObject, old_begin: int,
+                     pre_image: dict[str, Any], values: dict[str, Any],
+                     applied_ops: list[tuple[str, Any, Any, Any]]) -> None:
+        oid = obj.oid
+        for op, target, old, new in reversed(applied_ops):
+            if op == "update":
+                target.update(new, old, oid)
+            elif op == "remove":
+                target.insert(old, oid)
+            elif op == "insert":
+                target.remove(old, oid)
+            else:  # text engine: re-index the previous content
+                target.remove(oid)
+                if old is not None:
+                    target.index_text(oid, str(old))
+        obj.values.clear()
+        obj.values.update(pre_image)
+        obj.begin_ts = old_begin
+        self.statistics.property_writes -= len(values)
+        self.versions.data -= 1
 
     # ------------------------------------------------------------------
     # extensions
@@ -384,12 +836,71 @@ class Database:
         if not self.schema.has_class(class_name):
             raise SchemaError(f"unknown class {class_name!r}")
         self.statistics.record_extension_scan()
+        ts = self._pinned_ts()
+        if ts is not None:
+            # Optimistic fast path: if no commit newer than the snapshot
+            # exists before *and* no writer begins while we copy (the
+            # ``begun`` generation is unchanged after), the live lists are
+            # exactly the snapshot.  Otherwise take the versioned merge.
+            clock = self.clock
+            generation = clock.begun
+            if clock.allocated > ts:
+                return self._extension_at(class_name, ts, deep)
+            result = list(self._extensions.get(class_name, ()))
+            if deep:
+                for other in self.schema.classes:
+                    if other != class_name and self._inherits_from(
+                            other, class_name):
+                        result.extend(self._extensions.get(other, ()))
+            if clock.begun == generation:
+                return result
+            return self._extension_at(class_name, ts, deep)
         result = list(self._extensions.get(class_name, ()))
         if deep:
             for other, class_def in self.schema.classes.items():
                 if other != class_name and self._inherits_from(other, class_name):
                     result.extend(self._extensions.get(other, ()))
         return result
+
+    def _extension_at(self, class_name: str, ts: int,
+                      deep: bool) -> list[OID]:
+        classes = [class_name]
+        if deep:
+            classes.extend(
+                other for other in self.schema.classes
+                if other != class_name
+                and self._inherits_from(other, class_name))
+        result: list[OID] = []
+        for cls in classes:
+            result.extend(self._class_extension_at(cls, ts))
+        return result
+
+    def _class_extension_at(self, cls: str, ts: int) -> list[OID]:
+        current = list(self._extensions.get(cls, ()))  # atomic copy
+        objects = self._objects
+        ends = self._ends
+        visible: list[OID] = []
+        for oid in current:
+            obj = objects.get(oid)
+            if obj is not None:
+                if obj.created_ts <= ts:
+                    visible.append(oid)
+            else:
+                span = ends.get(oid)
+                if span is not None and span[0] <= ts < span[1]:
+                    visible.append(oid)
+        removed = self._removed.get(cls)
+        if removed:
+            present = {oid.serial for oid in visible}
+            resurrected = [oid for oid, created, end in list(removed)
+                           if created <= ts < end
+                           and oid.serial not in present]
+            if resurrected:
+                visible.extend(resurrected)
+                # serials are allocated in creation order, so sorting by
+                # serial restores the original extension order
+                visible.sort(key=lambda oid: oid.serial)
+        return visible
 
     def _inherits_from(self, class_name: str, ancestor: str) -> bool:
         current: Optional[str] = class_name
@@ -418,11 +929,40 @@ class Database:
             classes.extend(
                 other for other in self.schema.classes
                 if other != class_name and self._inherits_from(other, class_name))
-        result: list[list[OID]] = [[] for _ in range(self.partitions.n_partitions)]
+        ts = self._pinned_ts()
+        if ts is not None:
+            clock = self.clock
+            generation = clock.begun
+            if clock.allocated > ts:
+                return self._extension_partitions_at(classes, ts)
+            result = [[] for _ in range(self.partitions.n_partitions)]
+            for cls in classes:
+                extension = self.partitions.for_class(cls)
+                for index, oids in enumerate(extension.partitions()):
+                    result[index].extend(oids)
+            if clock.begun == generation:
+                return result
+            return self._extension_partitions_at(classes, ts)
+        result = [[] for _ in range(self.partitions.n_partitions)]
         for cls in classes:
             extension = self.partitions.for_class(cls)
             for index, oids in enumerate(extension.partitions()):
                 result[index].extend(oids)
+        return result
+
+    def _extension_partitions_at(self, classes: list[str],
+                                 ts: int) -> list[list[OID]]:
+        """The partitioned extension as of snapshot *ts*.
+
+        Built from the per-class snapshot extensions and the deterministic
+        serial-modulo partition function, so partition contents (and the
+        ordered merge of a parallel scan) match what the live partitions
+        held at the snapshot."""
+        n_partitions = self.partitions.n_partitions
+        result: list[list[OID]] = [[] for _ in range(n_partitions)]
+        for cls in classes:
+            for oid in self._class_extension_at(cls, ts):
+                result[oid.serial % n_partitions].append(oid)
         return result
 
     def partition_statistics(self, class_name: str) -> list[PartitionStatistics]:
@@ -444,9 +984,18 @@ class Database:
     # ------------------------------------------------------------------
     def invoke(self, receiver: OID, method_name: str, *args: Any) -> Any:
         """Invoke an instance method on *receiver*."""
-        obj = self.get(receiver)
-        method = self.schema.resolve_instance_method(obj.class_name, method_name)
-        return self._dispatch(method, obj.class_name, receiver, args)
+        obj = self._objects.get(receiver)
+        if obj is None:
+            # a snapshot pin may still see an object deleted from the
+            # live state; dispatch on the OID's class in that case
+            ts = self._pinned_ts()
+            if ts is None or not self.visible_at(receiver, ts):
+                raise ObjectNotFoundError(f"no object with OID {receiver}")
+            class_name = receiver.class_name
+        else:
+            class_name = obj.class_name
+        method = self.schema.resolve_instance_method(class_name, method_name)
+        return self._dispatch(method, class_name, receiver, args)
 
     def invoke_class_method(self, class_name: str, method_name: str,
                             *args: Any) -> Any:
@@ -523,9 +1072,16 @@ class Database:
         cost = method.cost_per_call
         key = f"{class_name}.{method_name}"
 
+        database = self
+
         def invoke(receiver: Any, args: tuple[Any, ...]) -> Any:
             if check_receiver and receiver not in objects:
-                raise ObjectNotFoundError(f"no object with OID {receiver}")
+                # Under a snapshot pin a deleted object may still be
+                # visible; resolve the existence check at the snapshot.
+                pin = current_pin()
+                if (pin is None or pin.database is not database
+                        or not database.visible_at(receiver, pin.ts)):
+                    raise ObjectNotFoundError(f"no object with OID {receiver}")
             if len(args) != arity:
                 raise MethodInvocationError(
                     f"method {class_name}.{method_name} expects {arity} "
@@ -556,8 +1112,13 @@ class Database:
                 f"class {class_name!r} has no property {prop!r}")
         objects = self._objects
         record = self.statistics.record_property_read
+        database = self
 
         def read(oid: OID) -> Any:
+            pin = current_pin()
+            if pin is not None and pin.database is database:
+                record()
+                return database.value_at(oid, prop, pin.ts)
             try:
                 obj = objects[oid]
             except KeyError:

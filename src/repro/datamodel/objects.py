@@ -26,6 +26,15 @@ class DatabaseObject:
 
     oid: OID
     values: dict[str, Any] = field(default_factory=dict)
+    #: commit timestamp of the version currently held in ``values``.
+    #: Writers flip this *before* mutating values (after appending the
+    #: pre-image to the database's version chain), so a reader that sees
+    #: the same ``begin_ts`` before and after reading a value knows the
+    #: value belongs to that version (seqlock discipline).
+    begin_ts: int = 0
+    #: commit timestamp of the creating transaction; readers pinned at an
+    #: earlier snapshot do not see the object at all.
+    created_ts: int = 0
 
     @property
     def class_name(self) -> str:

@@ -49,6 +49,18 @@ class OIDAllocator:
         for _ in range(count):
             yield self.allocate(class_name)
 
+    def release_last(self, class_name: str, serial: int) -> None:
+        """Retract *serial* if it was the most recent allocation.
+
+        Used when a commit scope aborts after creating objects: undoing the
+        creations in reverse order returns the counters to their pre-scope
+        values, keeping serials dense and deterministic.  A serial that is
+        no longer the latest (which cannot happen under the single-writer
+        gate) is left alone rather than corrupting the counter.
+        """
+        if self._counters.get(class_name) == serial:
+            self._counters[class_name] = serial - 1
+
     def last_serial(self, class_name: str) -> int:
         """The most recently allocated serial for *class_name* (0 if none)."""
         return self._counters.get(class_name, 0)

@@ -81,6 +81,23 @@ class PartitionedExtension:
         stats.removes += 1
         return index
 
+    def position_of(self, oid: OID) -> int:
+        """The OID's position within its partition (for positional undo)."""
+        return self._partitions[self.partition_of(oid)].index(oid)
+
+    def restore(self, oid: OID, position: int) -> None:
+        """Reinsert *oid* at *position*, cancelling an earlier :meth:`remove`.
+
+        Used by the commit-scope undo path: restoring at the recorded
+        position keeps creation order (and therefore parallel-scan merge
+        order) identical to the pre-scope state.
+        """
+        index = self.partition_of(oid)
+        self._partitions[index].insert(position, oid)
+        stats = self._statistics[index]
+        stats.size += 1
+        stats.removes -= 1
+
     def record_write(self, oid: OID) -> None:
         self._statistics[self.partition_of(oid)].writes += 1
 
@@ -135,6 +152,12 @@ class ExtensionPartitions:
 
     def remove(self, class_name: str, oid: OID) -> None:
         self.for_class(class_name).remove(oid)
+
+    def position_of(self, class_name: str, oid: OID) -> int:
+        return self.for_class(class_name).position_of(oid)
+
+    def restore(self, class_name: str, oid: OID, position: int) -> None:
+        self.for_class(class_name).restore(oid, position)
 
     def record_write(self, class_name: str, oid: OID) -> None:
         self.for_class(class_name).record_write(oid)

@@ -121,5 +121,19 @@ class ServiceError(ReproError):
     service shut down, ...)."""
 
 
+class TransactionError(ServiceError):
+    """Raised on transaction-protocol misuse: BEGIN inside an open
+    transaction, COMMIT/ROLLBACK without one, DDL inside a transaction,
+    or executing transaction-control words through a non-transactional
+    entry point."""
+
+
+class TransactionConflictError(TransactionError):
+    """Raised at COMMIT when first-writer-wins validation finds that an
+    object in the transaction's write set was committed (or deleted) by
+    another transaction after this one began.  The losing transaction is
+    rolled back; the caller may retry it from scratch."""
+
+
 class WorkloadError(ReproError):
     """Raised by workload generators on inconsistent parameters."""

@@ -259,7 +259,9 @@ def _require_index(plan: IndexEqScan | IndexRangeScan, database: Database):
         raise ExecutionError(
             f"{plan.describe()} needs an index on "
             f"{plan.class_name}.{plan.prop}, but none is registered")
-    return index
+    # When the calling thread is pinned to a snapshot, wrap the index so
+    # lookups answer as of that snapshot (the raw index otherwise).
+    return database.index_view(index)
 
 
 def _iterate_set(value: Any, plan: PhysicalOperator,

@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterator, Mapping, Optional
 
 from repro.algebra.expressions import Expression
 from repro.datamodel.database import Database
+from repro.datamodel.versioning import current_pin
 from repro.errors import ExecutionError
 from repro.physical.compiler import ExpressionCompiler
 from repro.physical.evaluator import EMPTY_ROW, make_hashable
@@ -476,13 +477,19 @@ def _diff(plan: DiffOp, database: Database,
 # ----------------------------------------------------------------------
 def _bound_worker(env: BindingEnv
                   ) -> Callable[[Callable[[list], list]], Callable[[list], list]]:
-    """A worker wrapper propagating the submitting thread's bindings."""
+    """A worker wrapper propagating the submitting thread's bindings and
+    snapshot pin, so every morsel observes the same snapshot (and resolves
+    the same parameters) as the coordinating statement."""
     bindings = env.current()
+    pin = current_pin()
 
     def wrap(work: Callable[[list], list]) -> Callable[[list], list]:
         def bound(morsel: list) -> list:
             previous = env.push(bindings)
             try:
+                if pin is not None:
+                    with pin.activate():
+                        return work(morsel)
                 return work(morsel)
             finally:
                 env.restore(previous)

@@ -41,7 +41,10 @@ from repro.api.router import StatementRouter
 from repro.datamodel import ddl
 from repro.datamodel.database import Database
 from repro.datamodel.statistics import StatisticsCatalog
-from repro.errors import ServiceError
+from repro.datamodel.versioning import current_pin
+from repro.api.transaction import Transaction
+from repro.errors import (ServiceError, TransactionConflictError,
+                          TransactionError)
 from repro.algebra.translate import translate_query
 from repro.optimizer.generator import OptimizerGenerator
 from repro.optimizer.knowledge import SchemaKnowledge
@@ -160,6 +163,15 @@ class ServiceMetrics:
             "repro_optimize_seconds", "optimizer latency (cache misses)")
         self._execute = reg.histogram(
             "repro_execute_seconds", "statement execute latency")
+        self._txn_begins = reg.counter(
+            "repro_txn_begins_total", "transactions begun")
+        self._txn_commits = reg.counter(
+            "repro_txn_commits_total", "transactions committed")
+        self._txn_rollbacks = reg.counter(
+            "repro_txn_rollbacks_total", "transactions rolled back")
+        self._txn_conflicts = reg.counter(
+            "repro_txn_conflicts_total",
+            "transaction commits aborted by first-writer-wins conflicts")
 
     # -- legacy attribute surface (reads the registry) ------------------
     @property
@@ -202,7 +214,35 @@ class ServiceMetrics:
     def total_optimize_seconds(self) -> float:
         return self._optimize.sum
 
+    @property
+    def txn_begins(self) -> int:
+        return int(self._txn_begins.value)
+
+    @property
+    def txn_commits(self) -> int:
+        return int(self._txn_commits.value)
+
+    @property
+    def txn_rollbacks(self) -> int:
+        return int(self._txn_rollbacks.value)
+
+    @property
+    def txn_conflicts(self) -> int:
+        return int(self._txn_conflicts.value)
+
     # -- recording ------------------------------------------------------
+    def record_txn_begin(self) -> None:
+        self._txn_begins.inc()
+
+    def record_txn_commit(self) -> None:
+        self._txn_commits.inc()
+
+    def record_txn_rollback(self) -> None:
+        self._txn_rollbacks.inc()
+
+    def record_txn_conflict(self) -> None:
+        self._txn_conflicts.inc()
+
     def record_feedback_eviction(self) -> None:
         self._feedback_evictions.inc()
 
@@ -247,6 +287,10 @@ class ServiceMetrics:
             "total_execute_seconds": self.total_execute_seconds,
             "total_prepare_seconds": self.total_prepare_seconds,
             "total_optimize_seconds": self.total_optimize_seconds,
+            "txn_begins": self.txn_begins,
+            "txn_commits": self.txn_commits,
+            "txn_rollbacks": self.txn_rollbacks,
+            "txn_conflicts": self.txn_conflicts,
         }
 
 
@@ -420,14 +464,38 @@ class QueryService:
         finally:
             self._gate.release_write()
 
+    @contextmanager
+    def _read_scope(self, at: Optional[int] = None):
+        """Pin the executing thread to a consistent snapshot.
+
+        This replaces read-gating for query execution: instead of blocking
+        behind in-flight writers, the statement reads the database as of
+        ``clock.published`` (or the explicit transaction snapshot *at*)
+        through the version chains.  Two situations inherit instead of
+        pinning: the thread that owns the open commit scope (a batch
+        commit's WHERE-queries must see the in-scope state), and nested
+        execution under an existing pin on the same database (a method
+        implementation re-entering the service observes its statement's
+        snapshot).
+        """
+        database = self.database
+        if database.in_commit_scope():
+            yield
+            return
+        pin = current_pin()
+        if pin is not None and pin.database is database and at is None:
+            yield
+            return
+        with database.snapshot_scope(at):
+            yield
+
     # ------------------------------------------------------------------
     # statement preparation
     # ------------------------------------------------------------------
     def prepare(self, text: str, optimize: bool = True) -> PreparedQuery:
         """Parse + analyze *text* once and warm the plan cache for it."""
         statement = self._statement(text, optimize)
-        with self._gate.read_locked():
-            self._entry_for(statement)
+        self._entry_for(statement)
         return statement
 
     def _statement(self, text: str, optimize: bool) -> PreparedQuery:
@@ -484,16 +552,19 @@ class QueryService:
 
     def execute_analyzed(self, analyzed: AnalyzedQuery,
                          parameters: ParameterValues = None,
-                         optimize: bool = True) -> ServiceResult:
+                         optimize: bool = True,
+                         at: Optional[int] = None) -> ServiceResult:
         """Execute an already-analyzed query through the plan cache.
 
         This is the router's query runner: the plan cache keys on the
         analyzed query's structure, so statements that were analyzed by the
         router (including the WHERE-queries derived from UPDATE/DELETE)
         share cached plans exactly like text submitted to :meth:`execute`.
+        *at* pins the execution to an explicit snapshot timestamp (a
+        transaction's begin snapshot) instead of the latest published one.
         """
         return self._execute_prepared(self._prepared_for(analyzed, optimize),
-                                      parameters)
+                                      parameters, at=at)
 
     @staticmethod
     def _prepared_for(analyzed: AnalyzedQuery,
@@ -521,7 +592,8 @@ class QueryService:
         return statement
 
     def _execute_prepared(self, statement: PreparedQuery,
-                          parameters: ParameterValues) -> ServiceResult:
+                          parameters: ParameterValues,
+                          at: Optional[int] = None) -> ServiceResult:
         # Root span only when this call IS the statement (tracing on, no
         # enclosing span): text statements and DML WHERE-queries arrive with
         # a span already active and nest their children under it.
@@ -531,25 +603,26 @@ class QueryService:
         else:
             span_cm = NOOP_SPAN
         with span_cm:
-            return self._run_prepared(statement, parameters)
+            return self._run_prepared(statement, parameters, at=at)
 
     def _run_prepared(self, statement: PreparedQuery,
-                      parameters: ParameterValues) -> ServiceResult:
+                      parameters: ParameterValues,
+                      at: Optional[int] = None) -> ServiceResult:
         started = time.perf_counter()
         bindings = resolve_bindings(statement.analyzed.parameters, parameters)
         analyze_seconds = time.perf_counter() - started
 
-        with self._gate.read_locked():
-            entry, cache_hit = self._entry_for(statement)
-            self._rearm_feedback(entry)
-            before = self.database.work_snapshot()
-            run_started = time.perf_counter()
+        entry, cache_hit = self._entry_for(statement)
+        self._rearm_feedback(entry)
+        before = self.database.work_snapshot()
+        run_started = time.perf_counter()
+        with self._read_scope(at):
             with child_span("execute") as execute_span:
                 rows = entry.executable.run(bindings)
                 if execute_span is not None:
                     execute_span.annotate(rows=len(rows))
-            execute_seconds = time.perf_counter() - run_started
-            after = self.database.work_snapshot()
+        execute_seconds = time.perf_counter() - run_started
+        after = self.database.work_snapshot()
         work = {key: after[key] - before.get(key, 0.0) for key in after}
 
         # The slow-query decision must capture the armed profile's
@@ -623,7 +696,13 @@ class QueryService:
                                           self._knowledge_version, record=False)
                 if entry is not None:
                     return entry, True
-                entry = self._prepare_entry(statement)
+                # Builds read the live schema/index/statistics state, so
+                # they still drain behind DDL writers; plain executions no
+                # longer pass through the gate at all.  The commit path
+                # runs WHERE-queries while *holding* the write gate — the
+                # lock admits its owner's nested read without deadlock.
+                with self._gate.read_locked():
+                    entry = self._prepare_entry(statement)
                 self.cache.store(key, entry)
         finally:
             # The guard only needs to exist for the duration of one build;
@@ -897,6 +976,89 @@ class QueryService:
         self.drop_index(class_name, prop, text=True)
 
     # ------------------------------------------------------------------
+    # transactions (deferred-write MVCC, first-writer-wins)
+    # ------------------------------------------------------------------
+    def begin_transaction(self) -> Transaction:
+        """Open a transaction pinned to the latest published snapshot.
+
+        The returned :class:`~repro.api.transaction.Transaction` holds a
+        *registered* snapshot pin, so the version chains its statements
+        read stay unpruned until commit or rollback.
+        """
+        txn = Transaction(self.database, self.database.acquire_snapshot())
+        self.metrics.record_txn_begin()
+        return txn
+
+    def rollback_transaction(self, txn: Transaction) -> None:
+        """Discard *txn*: release the snapshot pin, drop the buffer."""
+        if txn.state == "active":
+            txn.state = "rolled back"
+            self.metrics.record_txn_rollback()
+        txn.release()
+
+    def commit_transaction(self, txn: Transaction) -> int:
+        """Validate and atomically apply *txn*; returns the row count.
+
+        First-writer-wins: under the write gate, every object of the
+        transaction's write set must still carry a last write at or before
+        the begin snapshot — an object committed (or deleted) past it by
+        another transaction raises
+        :class:`~repro.errors.TransactionConflictError` and rolls this
+        transaction back (nothing was applied early, so rollback is free).
+        On success every buffered operation applies in one commit scope,
+        becoming visible to other snapshots at a single commit timestamp.
+        """
+        if txn.state != "active":
+            raise TransactionError(
+                f"cannot COMMIT a transaction that is {txn.state}")
+        try:
+            with self.tracer.span("transaction-commit"):
+                with self._traced_write_guard():
+                    stale = []
+                    for oid in txn.write_set:
+                        last = self.database.last_write_ts(oid)
+                        if last is None or last > txn.start_ts:
+                            stale.append(oid)
+                    if stale:
+                        raise TransactionConflictError(
+                            f"transaction begun at snapshot {txn.start_ts} "
+                            f"lost first-writer-wins validation on "
+                            f"{len(stale)} object(s) (first: {stale[0]})")
+                    total = self.router.apply_transaction(txn.operations)
+                annotate_current(operations=len(txn.operations), rows=total)
+        except TransactionConflictError:
+            txn.state = "rolled back"
+            txn.release()
+            self.metrics.record_txn_conflict()
+            raise
+        except Exception:
+            txn.state = "rolled back"
+            txn.release()
+            self.metrics.record_error()
+            raise
+        txn.state = "committed"
+        txn.release()
+        self.metrics.record_txn_commit()
+        return total
+
+    def transaction_targets(self, analyzed, parameters,
+                            at: int) -> tuple[dict, tuple]:
+        """Resolve an UPDATE/DELETE's bindings and target OIDs at *at*.
+
+        The WHERE-query runs through the plan cache pinned to the
+        transaction's begin snapshot, so a transaction's own statements
+        agree with its queries about which objects exist.
+        """
+        bindings = resolve_bindings(analyzed.parameters, parameters)
+        where = analyzed.query
+        sub_parameters = ({key: bindings[key] for key in where.parameters}
+                          or None)
+        result = self.execute_analyzed(where, sub_parameters, at=at)
+        ref = result.output_ref
+        targets = tuple(dict.fromkeys(row[ref] for row in result.rows))
+        return bindings, targets
+
+    # ------------------------------------------------------------------
     # streaming (the generator feed behind the statement API's cursor)
     # ------------------------------------------------------------------
     def stream(self, query: QueryInput,
@@ -905,10 +1067,11 @@ class QueryService:
         """Open a lazy row stream over the cached plan for *query*.
 
         Rows are produced by the prepared executable's generator tree on
-        demand — nothing is materialized up front.  Each fetch runs under
-        the service's read gate with the stream's bindings active, so
-        concurrent streams (and plain ``execute`` calls) on one thread
-        cannot observe each other's parameter values.
+        demand — nothing is materialized up front.  Each fetch runs pinned
+        to the snapshot the stream acquired when it opened (concurrent
+        mutations never leak into an open stream) with the stream's
+        bindings active, so concurrent streams (and plain ``execute``
+        calls) on one thread cannot observe each other's parameter values.
         """
         if isinstance(query, PreparedQuery):
             return self._open_stream(
@@ -934,30 +1097,32 @@ class QueryService:
                         parameters: ParameterValues = None,
                         optimize: bool = True,
                         analyze_seconds: float = 0.0,
-                        span=None) -> "RowStream":
+                        span=None,
+                        at: Optional[int] = None) -> "RowStream":
         """:meth:`stream` for an already-analyzed query.
 
         *analyze_seconds* carries the caller's parse+analyze timing into the
         stream's :class:`QueryMetrics` (the cursor facade analyzes before it
         reaches the service); *span* hands over an open statement span whose
-        lifecycle the stream finishes on exhaust/close.
+        lifecycle the stream finishes on exhaust/close.  *at* pins the
+        stream to an explicit snapshot (a transaction's begin snapshot).
         """
         if span is None:
             span = self.tracer.begin_root("statement", stream=True)
         return self._open_stream(self._prepared_for(analyzed, optimize),
                                  parameters, analyze_seconds=analyze_seconds,
-                                 span=span)
+                                 span=span, at=at)
 
     def _open_stream(self, statement: PreparedQuery,
                      parameters: ParameterValues,
                      analyze_seconds: float = 0.0,
-                     span=None) -> "RowStream":
+                     span=None,
+                     at: Optional[int] = None) -> "RowStream":
         try:
             with activation(span):
                 bindings = resolve_bindings(statement.analyzed.parameters,
                                             parameters)
-                with self._gate.read_locked():
-                    entry, cache_hit = self._entry_for(statement)
+                entry, cache_hit = self._entry_for(statement)
         except BaseException as exc:
             self.metrics.record_error()
             self.tracer.finish(span, error=exc)
@@ -995,7 +1160,8 @@ class QueryService:
                     cache_hit=cache_hit,
                     rows=stream.consumed)
 
-        return RowStream(self._gate, entry, bindings, on_finish=record)
+        return RowStream(self.database, entry, bindings, on_finish=record,
+                         at=at)
 
     # ------------------------------------------------------------------
     # inspection
@@ -1018,8 +1184,7 @@ class QueryService:
                           optimize: bool = True, analyze: bool = False,
                           parameters: ParameterValues = None) -> str:
         statement = self._prepared_for(analyzed, optimize)
-        with self._gate.read_locked():
-            entry, _ = self._entry_for(statement)
+        entry, _ = self._entry_for(statement)
         if entry.optimization is not None:
             report = entry.optimization.explain()
         else:
@@ -1038,15 +1203,15 @@ class QueryService:
 
         A *fresh* profiled executable is built from the entry's physical
         plan (cached executables stay unprofiled — the counters are
-        per-diagnostic, not per-cache-entry), and executed under the read
-        gate like any query.  Returns the rendered report plus the
+        per-diagnostic, not per-cache-entry), and executed under a snapshot
+        pin like any query.  Returns the rendered report plus the
         structured estimated-vs-actual records it was rendered from.
         """
         bindings = resolve_bindings(entry.analyzed.parameters, parameters)
         profile = PlanProfile()
         executable = PreparedExecutable(entry.physical_plan, self.database,
                                         profile=profile)
-        with self._gate.read_locked():
+        with self._read_scope():
             rows = executable.run(bindings)
         records = estimated_vs_actual(entry.physical_plan, profile,
                                       cost_model=self._optimizer.cost_model)
@@ -1065,21 +1230,25 @@ class RowStream:
 
     The stream owns a generator opened on the plan's prepared executable;
     :meth:`fetch` advances it by at most *n* rows, bracketing every advance
-    with the read gate and the stream's bind parameters.  Because the gate
-    is only held per fetch, DDL and DML can interleave with an open stream
-    — but the stream is *not* a snapshot: a plan whose index is dropped, or
-    whose not-yet-fetched rows are deleted, fails on the next fetch exactly
-    like the one-shot engines would on vanished state.  The scan-then-
-    mutate pattern therefore is: drain the cursor first (or buffer the
-    mutations with ``autocommit=False``) and apply afterwards.
+    with the stream's snapshot pin and bind parameters.  The stream pins
+    one snapshot for its *whole lifetime* (registered against the database
+    so version chains it needs are not pruned): DDL and DML interleave
+    freely with an open stream, and the not-yet-fetched rows still observe
+    the state as of the stream's open — a cursor never sees a concurrent
+    writer's half-applied (or even fully-applied) mutations.
     """
 
-    def __init__(self, gate, entry: CachedPlan,
+    def __init__(self, database, entry: CachedPlan,
                  bindings: Optional[dict] = None,
-                 on_finish=None):
-        self._gate = gate
+                 on_finish=None,
+                 at: Optional[int] = None):
+        self._database = database
         self._entry = entry
         self._bindings = bindings
+        # Register the lifetime snapshot before opening the iterator: the
+        # registration holds back version-chain pruning until _finish.
+        self._snapshot_ts = database.acquire_snapshot(at)
+        self._released = False
         # Capture the executable: adaptive feedback may swap a fresh build
         # into the cache entry mid-stream, and bindings must be activated
         # on the same environment the open iterator reads from.
@@ -1096,6 +1265,11 @@ class RowStream:
     def exhausted(self) -> bool:
         return self._exhausted
 
+    @property
+    def snapshot_ts(self) -> int:
+        """The commit timestamp this stream observes for its lifetime."""
+        return self._snapshot_ts
+
     def fetch(self, n: int) -> list[Row]:
         """Return up to *n* further rows (an empty list once exhausted)."""
         if self._exhausted or n <= 0:
@@ -1104,7 +1278,7 @@ class RowStream:
         iterator = self._iterator
         started = time.perf_counter()
         finished = False
-        with self._gate.read_locked():
+        with self._database.pin_snapshot(self._snapshot_ts):
             with self._executable.binding_scope(self._bindings):
                 for _ in range(n):
                     try:
@@ -1134,6 +1308,9 @@ class RowStream:
             self._finish()
 
     def _finish(self) -> None:
+        if not self._released:
+            self._released = True
+            self._database.release_snapshot(self._snapshot_ts)
         if self._on_finish is not None:
             callback, self._on_finish = self._on_finish, None
             callback(self)

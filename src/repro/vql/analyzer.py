@@ -51,6 +51,8 @@ from repro.datamodel.types import (
 from repro.errors import MethodResolutionError, SchemaError, VQLAnalysisError
 from repro.vql.ast import (
     AnalyzeStatement,
+    BeginStatement,
+    CommitStatement,
     CreateClassStatement,
     CreateIndexStatement,
     DeleteStatement,
@@ -59,6 +61,7 @@ from repro.vql.ast import (
     InsertStatement,
     Query,
     RangeDeclaration,
+    RollbackStatement,
     SelectStatement,
     Statement,
     UpdateStatement,
@@ -349,7 +352,7 @@ class AnalyzedStatement:
 
     ``kind`` is one of ``select``, ``insert``, ``update``, ``delete``,
     ``create_class``, ``create_index``, ``drop_index``, ``analyze``,
-    ``explain``.  For selects, ``query`` is the analyzed query; for
+    ``explain``, ``begin``, ``commit``, ``rollback``.  For selects, ``query`` is the analyzed query; for
     UPDATE/DELETE it is the derived *WHERE-query* (``ACCESS alias FROM
     alias IN Class WHERE cond``) which the router plans through the full
     optimizer so mutations pick up index access paths and bind parameters.
@@ -384,6 +387,10 @@ class AnalyzedStatement:
     @property
     def is_mutation(self) -> bool:
         return self.kind in ("insert", "update", "delete")
+
+    @property
+    def is_transaction_control(self) -> bool:
+        return self.kind in ("begin", "commit", "rollback")
 
 
 #: primitive type names accepted in CREATE CLASS property specs
@@ -421,6 +428,12 @@ def analyze_statement(statement: Statement, schema: Schema) -> AnalyzedStatement
         target = analyze_statement(statement.target, schema)
         return AnalyzedStatement(kind="explain", statement=statement,
                                  parameters=target.parameters, target=target)
+    if isinstance(statement, BeginStatement):
+        return AnalyzedStatement(kind="begin", statement=statement)
+    if isinstance(statement, CommitStatement):
+        return AnalyzedStatement(kind="commit", statement=statement)
+    if isinstance(statement, RollbackStatement):
+        return AnalyzedStatement(kind="rollback", statement=statement)
     raise VQLAnalysisError(f"unsupported statement {statement!r}")
 
 

@@ -43,6 +43,9 @@ __all__ = [
     "DeleteStatement",
     "AnalyzeStatement",
     "ExplainStatement",
+    "BeginStatement",
+    "CommitStatement",
+    "RollbackStatement",
     "DEFAULT_DML_ALIAS",
 ]
 
@@ -260,3 +263,38 @@ class ExplainStatement(Statement):
     def __str__(self) -> str:
         prefix = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
         return f"{prefix} {self.target}"
+
+
+@dataclass(frozen=True)
+class BeginStatement(Statement):
+    """``BEGIN [TRANSACTION | WORK]`` — open an explicit transaction.
+
+    Every statement until the matching ``COMMIT``/``ROLLBACK`` reads the
+    snapshot taken at ``BEGIN``; mutations are buffered in the transaction's
+    write set and validated first-writer-wins at commit.
+    """
+
+    def __str__(self) -> str:
+        return "BEGIN"
+
+
+@dataclass(frozen=True)
+class CommitStatement(Statement):
+    """``COMMIT [TRANSACTION | WORK]`` — validate and atomically apply the
+    open transaction, or raise :class:`~repro.errors.TransactionConflictError`
+    (rolling the transaction back) when validation fails."""
+
+    def __str__(self) -> str:
+        return "COMMIT"
+
+
+@dataclass(frozen=True)
+class RollbackStatement(Statement):
+    """``ROLLBACK [TRANSACTION | WORK]`` — discard the open transaction.
+
+    Nothing was applied early, so rolling back undoes nothing: the buffered
+    write set is dropped and the BEGIN snapshot is released.
+    """
+
+    def __str__(self) -> str:
+        return "ROLLBACK"

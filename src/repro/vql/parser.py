@@ -29,6 +29,8 @@ from repro.errors import VQLSyntaxError
 from repro.vql.ast import (
     DEFAULT_DML_ALIAS,
     AnalyzeStatement,
+    BeginStatement,
+    CommitStatement,
     CreateClassStatement,
     CreateIndexStatement,
     DeleteStatement,
@@ -38,6 +40,7 @@ from repro.vql.ast import (
     PropertySpec,
     Query,
     RangeDeclaration,
+    RollbackStatement,
     SelectStatement,
     Statement,
     UpdateStatement,
@@ -55,7 +58,7 @@ _SET_OPS = {"INTERSECTION": "INTERSECT", "UNION": "UNION", "DIFFERENCE": "DIFF"}
 #: queries, so the statement parser recognises them case-insensitively from
 #: IDENT tokens instead.
 _STATEMENT_WORDS = ("CREATE", "DROP", "INSERT", "UPDATE", "DELETE",
-                    "ANALYZE", "EXPLAIN")
+                    "ANALYZE", "EXPLAIN", "BEGIN", "COMMIT", "ROLLBACK")
 
 
 def parse_query(text: str) -> Query:
@@ -207,9 +210,16 @@ class Parser:
                 return self._parse_analyze()
             if word == "EXPLAIN":
                 return self._parse_explain()
+            if word == "BEGIN":
+                return self._parse_transaction_word("BEGIN", BeginStatement)
+            if word == "COMMIT":
+                return self._parse_transaction_word("COMMIT", CommitStatement)
+            if word == "ROLLBACK":
+                return self._parse_transaction_word("ROLLBACK",
+                                                    RollbackStatement)
         raise self._error(
             "expected a statement (ACCESS, CREATE, DROP, INSERT, UPDATE, "
-            "DELETE, ANALYZE or EXPLAIN)")
+            "DELETE, ANALYZE, EXPLAIN, BEGIN, COMMIT or ROLLBACK)")
 
     def _parse_create(self) -> Statement:
         self.expect_word("CREATE")
@@ -326,6 +336,13 @@ class Parser:
         if self.current.kind == "IDENT":
             class_name = self.advance().text
         return AnalyzeStatement(class_name=class_name)
+
+    def _parse_transaction_word(self, word: str, node_type) -> Statement:
+        self.expect_word(word)
+        # SQL's optional noise words: ``BEGIN TRANSACTION`` / ``COMMIT WORK``.
+        if not self.accept_word("TRANSACTION"):
+            self.accept_word("WORK")
+        return node_type()
 
     def _parse_explain(self) -> ExplainStatement:
         self.expect_word("EXPLAIN")

@@ -630,6 +630,149 @@ def test_fuzz_mutations_interleaved_with_queries(seed):
             f"cursor diverges after mutations: {text!r}"
 
 
+# ----------------------------------------------------------------------
+# interleaved-transaction fuzzing: FWW conflicts vs a sequential model
+# ----------------------------------------------------------------------
+TXN_SEEDS = (3, 29, 71, 113)
+
+
+@pytest.fixture(scope="module")
+def txn_stack():
+    """One shared service (warm plan cache) plus an Account class with a
+    hash index on the immutable key, so transactional WHERE-queries also
+    exercise snapshot index views."""
+    from repro import connect
+    from repro.service.service import QueryService
+
+    database = generate_document_database(n_documents=1)
+    service = QueryService(database)
+    bootstrap = connect(database, service=service)
+    bootstrap.execute("CREATE CLASS Account (name: STRING, balance: INT)")
+    bootstrap.execute("CREATE HASH INDEX ON Account(name)")
+    return database, service
+
+
+def run_txn_case(tag: str, rng: random.Random, database, service) -> None:
+    """One seeded case: create accounts, run 2–3 interleaved transactions
+    over them, commit in random order, and check (a) snapshot isolation of
+    every still-open transaction, (b) first-writer-wins conflicts exactly
+    where the sequential model predicts them, (c) the final state equals
+    the model's replay of the winners in commit order."""
+    from repro import connect
+    from repro.errors import TransactionConflictError
+
+    setup = connect(database, service=service)
+    names = [f"{tag}n{i}" for i in range(rng.randint(2, 4))]
+    model = {name: rng.randint(0, 100) for name in names}
+    setup.executemany("INSERT INTO Account (name, balance) VALUES (:n, :b)",
+                      [{"n": n, "b": b} for n, b in model.items()])
+
+    txns = []
+    for t in range(rng.randint(2, 3)):
+        ops = []
+        for o in range(rng.randint(1, 3)):
+            kind = rng.choice(("update", "update", "delete", "insert"))
+            if kind == "update":
+                ops.append(("update", rng.choice(names), rng.randint(0, 100)))
+            elif kind == "delete":
+                ops.append(("delete", rng.choice(names), None))
+            else:
+                ops.append(("insert", f"{tag}t{t}i{o}", rng.randint(0, 100)))
+        txns.append({"connection": connect(database, service=service),
+                     "ops": ops,
+                     "commit": rng.random() < 0.8})
+
+    for txn in txns:
+        txn["connection"].execute("BEGIN")
+
+    # execute every transaction's ops in a random interleaving (per-txn
+    # order is preserved; cross-txn order is the fuzzed dimension)
+    schedule = [index for index, txn in enumerate(txns)
+                for _ in txn["ops"]]
+    rng.shuffle(schedule)
+    progress = dict.fromkeys(range(len(txns)), 0)
+    for index in schedule:
+        txn = txns[index]
+        kind, name, balance = txn["ops"][progress[index]]
+        progress[index] += 1
+        connection = txn["connection"]
+        if kind == "update":
+            connection.execute(
+                "UPDATE Account a SET balance = :b WHERE a.name == :n",
+                {"b": balance, "n": name})
+        elif kind == "delete":
+            connection.execute("DELETE FROM Account a WHERE a.name == :n",
+                               {"n": name})
+        else:
+            connection.execute(
+                "INSERT INTO Account (name, balance) VALUES (:n, :b)",
+                {"n": name, "b": balance})
+
+    def write_set(txn) -> set:
+        return {name for kind, name, _ in txn["ops"] if kind != "insert"}
+
+    # commit (or roll back) in a random order; the model admits a
+    # transaction iff its write set is disjoint from every earlier winner's
+    order = list(range(len(txns)))
+    rng.shuffle(order)
+    written: set = set()
+    state = dict(model)
+    for index in order:
+        txn = txns[index]
+        connection = txn["connection"]
+        targets = write_set(txn)
+        if targets:
+            # snapshot isolation: a still-open transaction reads its BEGIN
+            # snapshot even after other transactions committed over it
+            probe = sorted(targets)[0]
+            assert connection.execute(
+                "ACCESS a.balance FROM a IN Account WHERE a.name == :n",
+                {"n": probe}).fetchall() == [model[probe]], \
+                f"open transaction leaked committed state ({tag})"
+        if not txn["commit"]:
+            connection.execute("ROLLBACK")
+            continue
+        if targets & written:
+            with pytest.raises(TransactionConflictError):
+                connection.execute("COMMIT")
+            continue
+        connection.execute("COMMIT")
+        written |= targets
+        for kind, name, balance in txn["ops"]:
+            if kind == "update":
+                if name in state:
+                    state[name] = balance
+            elif kind == "delete":
+                state.pop(name, None)
+            else:
+                state[name] = balance
+
+    # final state must equal the sequential model's replay
+    checker = connect(database, service=service)
+    inserted = [name for txn in txns for kind, name, _ in txn["ops"]
+                if kind == "insert"]
+    for name in names + inserted:
+        rows = checker.execute(
+            "ACCESS a.balance FROM a IN Account WHERE a.name == :n",
+            {"n": name}).fetchall()
+        expected = [state[name]] if name in state else []
+        assert rows == expected, \
+            f"final state diverges from the model for {name!r}"
+
+
+@pytest.mark.parametrize("seed", TXN_SEEDS)
+def test_fuzz_interleaved_transactions(seed, txn_stack):
+    """Seeded interleaved BEGIN/COMMIT/ROLLBACK transactions over a shared
+    service: snapshot reads, first-writer-wins conflicts and final states
+    all match a sequential dictionary model (~N_CASES cases across the
+    seed batches)."""
+    database, service = txn_stack
+    rng = random.Random(seed)
+    cases = max(N_CASES // len(TXN_SEEDS), 1)
+    for case in range(cases):
+        run_txn_case(f"c{seed}x{case}_", rng, database, service)
+
+
 def test_parameters_reach_parallel_worker_threads(fuzz_db):
     """Bind parameters are thread-local; the parallel operators must
     propagate the caller's bindings into the morsel workers."""

@@ -497,8 +497,9 @@ class TestConnectionCursor:
             connection.execute("INSERT INTO Document (title) VALUES ('cm')")
         assert database.object_count() == count + 1
 
-    def test_failed_commit_keeps_unapplied_mutations_buffered(self, database):
+    def test_failed_commit_applies_nothing_and_keeps_the_buffer(self, database):
         connection = connect(database, autocommit=False)
+        count = database.object_count()
         connection.execute("INSERT INTO Document (title) VALUES ('first')")
         # fails at apply time: the value does not conform to STRING
         connection.execute("INSERT INTO Section (title) VALUES (:t)",
@@ -506,12 +507,15 @@ class TestConnectionCursor:
         connection.execute("INSERT INTO Document (title) VALUES ('last')")
         with pytest.raises(TypeMismatchError):
             connection.commit()
-        # the applied entry is gone; the failing and later ones remain
+        # the flush is atomic: the failure undid the already-applied entry
+        # and the whole batch stays buffered for a retry or rollback
         assert connection.in_transaction
+        assert database.object_count() == count
         assert len(connection.execute(
             "ACCESS d FROM d IN Document WHERE d.title == 'first'"
-            ).fetchall()) == 1
-        assert connection.rollback() == 2
+            ).fetchall()) == 0
+        assert connection.rollback() == 3
+        assert database.object_count() == count
 
     def test_concurrent_queries_and_dml_through_the_service(self, database):
         service = QueryService(database)
