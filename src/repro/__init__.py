@@ -10,6 +10,8 @@ The package provides:
   semantic rules derived from knowledge about methods
   (:mod:`repro.optimizer`),
 * a physical algebra and executor (:mod:`repro.physical`),
+* pluggable durable storage — write-ahead log, checkpoints, crash
+  recovery (:mod:`repro.storage`, ``connect(durability="wal")``),
 * ready-made workloads reproducing the paper's example schema
   (:mod:`repro.workloads`).
 
@@ -32,13 +34,17 @@ from repro.service.service import QueryService
 from repro.session import QueryResult, Session
 from repro.api.connection import Connection, Cursor, connect
 from repro.api.router import StatementResult
+from repro.storage import FileStorageAdapter, MemoryAdapter, StorageAdapter
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "connect",
     "Connection",
     "Cursor",
+    "StorageAdapter",
+    "MemoryAdapter",
+    "FileStorageAdapter",
     "open_session",
     "open_service",
     "run_query",

@@ -38,6 +38,8 @@ OODB, not a client/server SQL engine):
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 import warnings
 from collections import deque
@@ -50,11 +52,16 @@ from repro.datamodel.database import Database
 from repro.optimizer.knowledge import SchemaKnowledge
 from repro.optimizer.search import OptimizerOptions
 from repro.service.service import QueryService, RowStream
+from repro.storage import FileStorageAdapter
 from repro.telemetry.spans import Tracer, activation
 from repro.vql.analyzer import AnalyzedStatement
 from repro.vql.bindings import ParameterValues
 
 __all__ = ["connect", "Connection", "Cursor"]
+
+#: durability spellings accepted by connect() / REPRO_DURABILITY
+_MEMORY_MODES = ("", "memory", "none", "off")
+_DURABLE_MODES = ("wal", "file")
 
 
 def connect(database: Database,
@@ -65,7 +72,11 @@ def connect(database: Database,
             autocommit: bool = True,
             service: Optional[QueryService] = None,
             tracing: Optional[bool] = None,
-            slow_query_ms: Optional[float] = None) -> "Connection":
+            slow_query_ms: Optional[float] = None,
+            durability: Optional[str] = None,
+            storage_path: Optional[str] = None,
+            wal_fsync: Optional[str] = None,
+            checkpoint_interval: Optional[int] = None) -> "Connection":
     """Open a statement-API connection on *database*.
 
     ``knowledge``/``options``/``exclude_tags``/``parallelism`` configure
@@ -75,13 +86,67 @@ def connect(database: Database,
     (``None`` consults ``REPRO_TRACE``) and ``slow_query_ms`` overrides the
     ``REPRO_SLOW_QUERY_MS`` slow-query-log threshold — see
     :mod:`repro.telemetry`.
+
+    ``durability`` selects the storage adapter (see :mod:`repro.storage`):
+    ``"memory"`` (the default) keeps everything in RAM, ``"wal"`` attaches
+    a :class:`~repro.storage.FileStorageAdapter` under *storage_path* (a
+    fresh temp directory when omitted) — if that directory already holds a
+    checkpoint or write-ahead log, **recovery runs here**, before the
+    first statement.  ``None`` consults ``REPRO_DURABILITY``.
+    ``wal_fsync`` picks the fsync policy (``always``/``interval``/
+    ``never``; default ``interval`` = group commit, env
+    ``REPRO_WAL_FSYNC``) and ``checkpoint_interval`` the number of
+    commits between automatic checkpoints (0 disables; env
+    ``REPRO_CHECKPOINT_INTERVAL``).  A database keeps at most one durable
+    adapter: later connects reuse it and the knobs of the first attach
+    win.
     """
+    _ensure_storage(database, durability, storage_path, wal_fsync,
+                    checkpoint_interval)
     if service is None:
         service = QueryService(database, knowledge=knowledge, options=options,
                                exclude_tags=exclude_tags,
                                parallelism=parallelism,
                                tracing=tracing, slow_query_ms=slow_query_ms)
+    elif database.storage is not None:
+        # a pre-built service predates the adapter: wire telemetry now
+        database.storage.bind_telemetry(registry=service.registry,
+                                        slow_log=service.slow_log,
+                                        tracer=service.tracer)
     return Connection(service, autocommit=autocommit)
+
+
+def _ensure_storage(database: Database, durability: Optional[str],
+                    storage_path: Optional[str], wal_fsync: Optional[str],
+                    checkpoint_interval: Optional[int]) -> None:
+    """Attach (once) the storage adapter the durability mode asks for."""
+    if durability is None:
+        durability = os.environ.get("REPRO_DURABILITY", "")
+    durability = durability.strip().lower()
+    if durability in _MEMORY_MODES:
+        return
+    if durability not in _DURABLE_MODES:
+        raise ServiceError(
+            f"unknown durability mode {durability!r} — expected one of "
+            f"memory, {', '.join(_DURABLE_MODES)}")
+    if database.storage is not None and database.storage.durable:
+        return  # one WAL per database; the first attach's knobs win
+    if storage_path is None:
+        base = os.environ.get("REPRO_STORAGE_DIR", "").strip() or None
+        if base is not None:
+            os.makedirs(base, exist_ok=True)
+        storage_path = tempfile.mkdtemp(prefix="repro-wal-", dir=base)
+    if wal_fsync is None:
+        wal_fsync = os.environ.get("REPRO_WAL_FSYNC", "").strip().lower() \
+            or "interval"
+    if checkpoint_interval is None:
+        raw = os.environ.get("REPRO_CHECKPOINT_INTERVAL", "").strip()
+        checkpoint_interval = int(raw) if raw else None
+    adapter = (FileStorageAdapter(storage_path, fsync=wal_fsync)
+               if checkpoint_interval is None else
+               FileStorageAdapter(storage_path, fsync=wal_fsync,
+                                  checkpoint_interval=checkpoint_interval))
+    database.attach_storage(adapter)
 
 
 class Connection:
@@ -265,6 +330,20 @@ class Connection:
         self.service.drop_index(class_name, prop, text=text)
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Optional[int]:
+        """Force a storage checkpoint (write-gated); returns the commit
+        timestamp the snapshot covers, or None without a durable adapter.
+
+        Snapshots the full database state, truncates the write-ahead log
+        and prunes version chains up to the new watermark — see
+        :mod:`repro.storage`.
+        """
+        self._check_open()
+        return self.service.checkpoint()
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -274,7 +353,10 @@ class Connection:
         discarded; either case emits a :class:`ResourceWarning` naming the
         discarded count, because silently dropping buffered writes on
         close is almost always a bug — ``commit()`` or ``rollback()``
-        explicitly first.
+        explicitly first.  With a durable storage adapter attached, any
+        buffered WAL writes are flushed to stable storage *after* the
+        rollback/discard, so a clean close never loses an acknowledged
+        commit (and never persists an abandoned buffer).
         """
         if self._closed:
             return
@@ -285,6 +367,9 @@ class Connection:
             self.service.rollback_transaction(txn)
         self._pending.clear()
         self._closed = True
+        storage = self.database.storage
+        if storage is not None:
+            storage.flush()
         if discarded:
             warnings.warn(
                 f"Connection.close() discarded {discarded} uncommitted "
@@ -300,7 +385,9 @@ class Connection:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         # Mirror the transactional contract: a body that raised must not
-        # half-commit its work on the way out — roll back instead.
+        # half-commit its work on the way out — roll back instead.  The
+        # rollback runs *before* close() flushes the WAL, so what reaches
+        # stable storage is exactly the committed state.
         try:
             if not self._closed:
                 if exc_type is None:

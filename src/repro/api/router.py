@@ -347,6 +347,10 @@ class StatementRouter:
     # ------------------------------------------------------------------
     # atomic multi-statement apply (deferred buffers and transactions)
     # ------------------------------------------------------------------
+    # Durability note: the WAL hooks at the commit-scope level, so each
+    # autocommit statement above, each apply_batch call, and each
+    # apply_transaction call serializes exactly ONE logical WAL record —
+    # the unit of atomicity and the unit of durability coincide.
     def apply_batch(self, entries) -> int:
         """Apply a deferred ``autocommit=False`` buffer atomically.
 

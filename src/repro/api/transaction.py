@@ -52,7 +52,7 @@ class Transaction:
     """An open deferred-write transaction (see the module docstring)."""
 
     __slots__ = ("database", "start_ts", "state", "operations", "_write_set",
-                 "_released")
+                 "_released", "commit_ts")
 
     def __init__(self, database, start_ts: int):
         self.database = database
@@ -60,6 +60,9 @@ class Transaction:
         self.start_ts = start_ts
         #: ``active`` → ``committed`` | ``rolled back``
         self.state = "active"
+        #: the commit timestamp once committed (one commit scope, hence
+        #: one WAL record under a durable adapter); ``None`` until then
+        self.commit_ts: Optional[int] = None
         self.operations: list[TransactionOp] = []
         # dict-as-ordered-set: validation order == first-touch order
         self._write_set: dict[OID, None] = {}

@@ -93,15 +93,23 @@ class _CommitScope:
     reader arriving afterwards.  Nested mutator calls on the owning thread
     join the scope (``depth``) instead of allocating a new timestamp — a
     multi-object statement or a transaction commit is one commit.
+
+    When a durable storage adapter is attached, ``ops`` collects the
+    scope's logical operations (creates/updates/deletes); the whole list
+    becomes **one** write-ahead-log record when the scope publishes, so a
+    multi-row batch costs one record and at most one fsync.  ``ops`` is
+    None when nothing records (no adapter, or recovery replay).
     """
 
-    __slots__ = ("ts", "owner", "depth", "undo")
+    __slots__ = ("ts", "owner", "depth", "undo", "ops")
 
-    def __init__(self, ts: int, owner: int) -> None:
+    def __init__(self, ts: int, owner: int,
+                 ops: Optional[list] = None) -> None:
         self.ts = ts
         self.owner = owner
         self.depth = 1
         self.undo: list = []
+        self.ops = ops
 
 
 class InvocationContext:
@@ -181,6 +189,10 @@ class Database:
         self._pin_counts: dict[int, int] = {}
         self._pin_lock = threading.Lock()
         self._commits_since_prune = 0
+        #: the durability seam (see :mod:`repro.storage`): None means
+        #: in-memory only; a durable adapter receives one ``log_commit``
+        #: per published scope and one ``log_ddl`` per DDL/ANALYZE
+        self.storage = None
 
     # ------------------------------------------------------------------
     # commit scopes (MVCC write side)
@@ -205,7 +217,10 @@ class Database:
             finally:
                 scope.depth -= 1
             return
-        scope = _CommitScope(self.clock.begin(), threading.get_ident())
+        storage = self.storage
+        scope = _CommitScope(
+            self.clock.begin(), threading.get_ident(),
+            ops=[] if storage is not None and storage.active else None)
         self._scope = scope
         try:
             yield scope
@@ -215,6 +230,13 @@ class Database:
         else:
             self._scope = None
             self.clock.publish(scope.ts)
+            if scope.ops:
+                # One logical WAL record per published commit; an aborted
+                # scope never reaches this point, so its ops vanish with
+                # the undo.  Appended *after* publish: the in-process
+                # state is the source of truth, the log trails it by at
+                # most the fsync policy's window.
+                storage.log_commit(scope.ts, scope.ops)
             self._maybe_prune()
 
     def _abort_scope(self, scope: _CommitScope) -> None:
@@ -229,6 +251,50 @@ class Database:
         """True when the calling thread owns the open commit scope."""
         scope = self._scope
         return scope is not None and scope.owner == threading.get_ident()
+
+    # ------------------------------------------------------------------
+    # durable storage (see repro.storage)
+    # ------------------------------------------------------------------
+    def attach_storage(self, adapter) -> Any:
+        """Attach a storage adapter; recovery runs here if it has state.
+
+        Attaching is idempotent for the already-attached adapter and an
+        error for a second distinct durable adapter (two write-ahead logs
+        on one database cannot both be the truth).
+        """
+        if self.storage is adapter:
+            return adapter
+        if self.storage is not None and self.storage.durable:
+            raise SchemaError(
+                f"database {self.name!r} already has a durable storage "
+                "adapter attached")
+        self.storage = adapter
+        adapter.attach(self)
+        return adapter
+
+    def _log_ddl(self, *op: Any) -> None:
+        """Forward one DDL/ANALYZE operation to the storage adapter.
+
+        DDL runs outside commit scopes (it mutates shared schema/index
+        structures, not versioned objects), so each statement is its own
+        WAL record.  Suppressed while recovery replays the log.
+        """
+        storage = self.storage
+        if storage is not None and storage.active:
+            storage.log_ddl(op)
+
+    def close(self) -> None:
+        """Release the database's storage adapter (idempotent).
+
+        Flushes buffered WAL writes first, so a clean teardown never
+        loses acknowledged commits; a database without an adapter has
+        nothing to do.  The in-memory state stays usable afterwards, but
+        mutations no longer persist.
+        """
+        storage, self.storage = self.storage, None
+        if storage is not None:
+            storage.flush()
+            storage.close()
 
     # ------------------------------------------------------------------
     # snapshot pins (MVCC read side)
@@ -282,6 +348,21 @@ class Database:
         if (self._commits_since_prune < _PRUNE_INTERVAL
                 and len(self._mlog) < _PRUNE_LOG_LIMIT):
             return
+        self._prune()
+
+    def prune_versions(self) -> None:
+        """Prune version chains and tombstones up to the pin watermark.
+
+        Called by the storage adapter after every checkpoint: the
+        checkpoint's pinned snapshot is released by then, so everything
+        older than the oldest *registered* snapshot (or the published
+        clock when nothing is pinned) can go.  Also available to callers
+        that want bounded memory under sustained pin pressure without
+        waiting for the commit-count trigger.
+        """
+        self._prune()
+
+    def _prune(self) -> None:
         self._commits_since_prune = 0
         watermark = self._oldest_pin()
         if watermark is None:
@@ -440,6 +521,9 @@ class Database:
         with self.commit_scope() as scope:
             ts = scope.ts
             oid = self._allocator.allocate(class_name)
+            if scope.ops is not None:
+                scope.ops.append(("create", class_name, oid.serial,
+                                  dict(values)))
             self._mlog.append((ts, class_name, oid))
             obj = DatabaseObject(oid=oid, values=dict(values),
                                  begin_ts=ts, created_ts=ts)
@@ -576,8 +660,11 @@ class Database:
             ts = scope.ts
             mlog = self._mlog
             undo = scope.undo
+            ops = scope.ops
             for row in materialized:
                 oid = allocate(class_name)
+                if ops is not None:
+                    ops.append(("create", class_name, oid.serial, dict(row)))
                 mlog.append((ts, class_name, oid))
                 objects[oid] = DatabaseObject(oid=oid, values=row,
                                               begin_ts=ts, created_ts=ts)
@@ -629,6 +716,8 @@ class Database:
         owners = set(self._class_and_ancestors(class_name))
         with self.commit_scope() as scope:
             ts = scope.ts
+            if scope.ops is not None:
+                scope.ops.append(("delete", class_name, oid.serial))
             self._mlog.append((ts, class_name, oid))
             # Index/text removals are undone entry-by-entry: the loops can
             # fail part-way, and re-inserting entries that were never
@@ -759,6 +848,9 @@ class Database:
             ts = scope.ts
             previous = {prop: (obj.has(prop), obj.get_or_none(prop))
                         for prop in values}
+            if scope.ops is not None:
+                scope.ops.append(("update", class_name, oid.serial,
+                                  dict(values)))
             self._mlog.append((ts, class_name, oid))
             # Version-chain discipline: append the pre-image, *then* flip
             # ``begin_ts``, *then* mutate the values.  A snapshot reader
@@ -1157,6 +1249,12 @@ class Database:
             class_def.add_property(prop)
         self.schema.add_class(class_def)
         self.bump_schema_version()
+        # str(vml_type) renders the statement language's own type spec
+        # (STRING / INT / a class name / {inner}), which the storage
+        # layer's decode_type parses back — no separate wire format.
+        self._log_ddl("create_class", name, superclass,
+                      [[prop.name, str(prop.vml_type), prop.target_class]
+                       for prop in properties])
         return class_def
 
     # ------------------------------------------------------------------
@@ -1171,6 +1269,7 @@ class Database:
             if value is not None:
                 index.insert(value, oid)
         self.versions.index += 1
+        self._log_ddl("create_index", "hash", class_name, prop)
         return index
 
     def create_sorted_index(self, class_name: str, prop: str) -> SortedIndex:
@@ -1182,6 +1281,7 @@ class Database:
             if value is not None:
                 index.insert(value, oid)
         self.versions.index += 1
+        self._log_ddl("create_index", "sorted", class_name, prop)
         return index
 
     def drop_index(self, class_name: str, prop: str) -> None:
@@ -1191,6 +1291,7 @@ class Database:
         bump lets the service layer's plan cache evict them."""
         self.indexes.drop(class_name, prop)
         self.versions.index += 1
+        self._log_ddl("drop_index", class_name, prop, False)
 
     def create_text_index(self, class_name: str, prop: str) -> InvertedTextIndex:
         """Create an IR index over a STRING property and backfill it."""
@@ -1204,6 +1305,7 @@ class Database:
             if content is not None:
                 engine.index_text(oid, str(content))
         self.versions.index += 1
+        self._log_ddl("create_index", "text", class_name, prop)
         return engine
 
     def drop_text_index(self, class_name: str, prop: str) -> None:
@@ -1213,6 +1315,7 @@ class Database:
             raise SchemaError(f"no text index on {class_name}.{prop} to drop")
         del self._text_indexes[key]
         self.versions.index += 1
+        self._log_ddl("drop_index", class_name, prop, True)
 
     def text_index(self, class_name: str, prop: str) -> Optional[InvertedTextIndex]:
         return self._text_indexes.get((class_name, prop))
@@ -1240,6 +1343,10 @@ class Database:
         collected = self.stats_catalog.analyze(self, class_name=class_name,
                                                **options)
         self.versions.stats += 1
+        # Replay re-runs ANALYZE over identical data: distribution
+        # statistics are deterministic, so the recovered catalog matches
+        # (timing-based method calibration is measured fresh either way).
+        self._log_ddl("analyze", class_name)
         return collected
 
     def note_stats_correction(self) -> None:
@@ -1275,6 +1382,15 @@ class Database:
         """Signal an in-place schema mutation (class/property/method change)
         so that the service layer re-prepares every cached plan."""
         self.versions.schema += 1
+
+    def oid_counters(self) -> dict[str, int]:
+        """Per-class OID allocator counters (checkpoint serialization)."""
+        return self._allocator.counters()
+
+    def restore_oid_counters(self, counters: dict[str, int]) -> None:
+        """Restore allocator counters from a checkpoint, so serials of
+        objects deleted before the checkpoint are never reallocated."""
+        self._allocator.restore(counters)
 
     @property
     def context(self) -> InvocationContext:

@@ -65,6 +65,21 @@ class OIDAllocator:
         """The most recently allocated serial for *class_name* (0 if none)."""
         return self._counters.get(class_name, 0)
 
+    def counters(self) -> dict[str, int]:
+        """A copy of every per-class counter (checkpoint serialization)."""
+        return dict(self._counters)
+
+    def restore(self, counters: dict[str, int]) -> None:
+        """Reinstate counters from a checkpoint.
+
+        Counters only ever move forward: a restored value below the
+        current one (objects already recovered) is ignored, so replayed
+        creations keep their dense, deterministic serials.
+        """
+        for class_name, serial in counters.items():
+            if serial > self._counters.get(class_name, 0):
+                self._counters[class_name] = serial
+
     def reset(self) -> None:
         """Forget all allocations (used when a database is cleared)."""
         self._counters.clear()

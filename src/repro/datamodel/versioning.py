@@ -88,6 +88,19 @@ class CommitClock:
         ``published`` exists any more, so fast-path reads are safe again."""
         self.allocated = self.published
 
+    def restore(self, ts: int) -> None:
+        """Pin the clock to *ts* (crash recovery, no writer in flight).
+
+        A restored checkpoint re-publishes its snapshot timestamp, and
+        WAL replay re-stamps each replayed commit with its original
+        timestamp so the recovered clock ends exactly where the crashed
+        process's did.  The clock never moves backwards.
+        """
+        if ts > self.published:
+            self.published = ts
+        if self.published > self.allocated:
+            self.allocated = self.published
+
 
 class SnapshotPin:
     """A thread's declaration that reads observe *database* as of *ts*."""

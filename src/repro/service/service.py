@@ -366,6 +366,16 @@ class QueryService:
             self.tracer = Tracer(enabled=tracing)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        # When a durable storage adapter is attached (connect(durability=
+        # "wal")), wire its WAL/checkpoint telemetry into this service's
+        # registry, slow log and tracer so Connection.metrics() carries
+        # wal_records/wal_bytes/fsync histograms alongside the query-side
+        # instruments.
+        storage = getattr(database, "storage", None)
+        if storage is not None:
+            storage.bind_telemetry(registry=self.registry,
+                                   slow_log=self.slow_log,
+                                   tracer=self.tracer)
         #: adaptive re-optimization: profile the first execution of every
         #: cost-based plan (and the first after data drift), and when an
         #: operator's estimate diverges from the measurement by more than
@@ -952,6 +962,19 @@ class QueryService:
         with self._gate.write_locked():
             ddl.drop_index(self.database, class_name, prop, text=text)
 
+    def checkpoint(self):
+        """Checkpoint the storage adapter under the write gate.
+
+        Writers drain and stay blocked while the snapshot serializes
+        (MVCC readers keep running); returns the checkpointed commit
+        timestamp, or None when the database has no durable adapter.
+        """
+        storage = getattr(self.database, "storage", None)
+        if storage is None or not storage.durable:
+            return None
+        with self._gate.write_locked():
+            return storage.checkpoint()
+
     # legacy aliases for the generic index DDL above
     def create_hash_index(self, class_name: str, prop: str):
         """Deprecated alias for ``create_index(..., kind="hash")``."""
@@ -1037,6 +1060,10 @@ class QueryService:
             self.metrics.record_error()
             raise
         txn.state = "committed"
+        # apply_transaction ran in one commit scope, so the timestamp it
+        # published is the whole transaction's (and its single WAL
+        # record's) commit timestamp
+        txn.commit_ts = self.database.clock.published
         txn.release()
         self.metrics.record_txn_commit()
         return total

@@ -1,0 +1,31 @@
+"""Durable storage: write-ahead logging, checkpoints, crash recovery.
+
+The database is in-memory first; this package makes its state survive
+the process when asked to.  ``connect(durability="wal")`` (or the
+``REPRO_DURABILITY`` environment variable) attaches a
+:class:`FileStorageAdapter` to the database: every published commit
+scope appends one checksummed record to a write-ahead log, periodic
+checkpoints snapshot the full state and truncate the log, and opening a
+database over an existing directory replays the surviving log tail on
+top of the latest checkpoint.  ``durability="memory"`` (the default) is
+the historical behavior — :class:`MemoryAdapter` persists nothing.
+
+See DESIGN.md ("Durable storage") for the record format, the fsync
+policies and the crash-consistency argument.
+"""
+
+from repro.storage.adapter import (
+    FileStorageAdapter,
+    MemoryAdapter,
+    StorageAdapter,
+)
+from repro.storage.wal import WriteAheadLog, encode_record, read_records
+
+__all__ = [
+    "StorageAdapter",
+    "MemoryAdapter",
+    "FileStorageAdapter",
+    "WriteAheadLog",
+    "encode_record",
+    "read_records",
+]

@@ -1,0 +1,133 @@
+"""Checkpoint serialization: a full consistent snapshot of the database.
+
+A checkpoint captures everything recovery cannot rebuild from the static
+schema module alone, as of one pinned commit timestamp:
+
+* dynamic classes (``CREATE CLASS`` DDL — properties only; runtime
+  classes never carry method implementations, so nothing is lost);
+* every live object, per class, as ``[serial, values]`` in serial order
+  (serials are allocated in creation order, so restoring in this order
+  reproduces extension and partition order exactly);
+* the OID allocator counters (so serials of deleted objects are never
+  reused after recovery);
+* index definitions — hash, sorted and text — as ``(class, property,
+  kind)`` triples (contents are rebuilt by the normal backfill on
+  creation);
+* the names of ANALYZE'd classes (distribution statistics are
+  deterministic over identical data, so recovery re-runs ANALYZE instead
+  of serializing histograms).
+
+The writer holds the service's write gate, so the live structures *are*
+the state at ``clock.published`` — MVCC readers keep running against
+their own snapshots throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datamodel.objects import DatabaseObject
+from repro.datamodel.oid import OID
+from repro.datamodel.schema import PropertyDef
+from repro.errors import ServiceError
+from repro.storage.encoding import (
+    decode_type,
+    decode_values,
+    encode_type,
+    encode_values,
+)
+
+__all__ = ["CHECKPOINT_FORMAT", "serialize_checkpoint", "restore_checkpoint"]
+
+CHECKPOINT_FORMAT = 1
+
+
+def serialize_checkpoint(database, base_classes: set[str]) -> dict[str, Any]:
+    """Snapshot *database* at ``clock.published`` (write gate held)."""
+    schema = database.schema
+    classes: list[list[Any]] = []
+    for name, class_def in schema.classes.items():
+        if name in base_classes:
+            continue
+        props = [[prop.name, encode_type(prop.vml_type), prop.target_class]
+                 for prop in class_def.properties.values()]
+        classes.append([name, class_def.superclass, props])
+    objects: dict[str, list[list[Any]]] = {}
+    for class_name in schema.classes:
+        extension = database._extensions.get(class_name)
+        if not extension:
+            continue
+        rows = [[oid.serial, encode_values(database._objects[oid].values)]
+                for oid in extension]
+        objects[class_name] = rows
+    indexes = [[index.class_name, index.property_name, index.kind]
+               for index in database.indexes.all()]
+    indexes.extend([class_name, prop, "text"]
+                   for (class_name, prop), _ in database.text_indexes())
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "commit_ts": database.clock.published,
+        "name": database.name,
+        "classes": classes,
+        "objects": objects,
+        "allocators": database.oid_counters(),
+        "indexes": indexes,
+        "analyzed": list(database.stats_catalog.analyzed_classes()),
+    }
+
+
+def restore_checkpoint(database, state: dict[str, Any]) -> None:
+    """Load *state* into a freshly constructed *database*.
+
+    The database must carry the same static schema the checkpoint was
+    taken under and hold no objects yet; the caller (the storage adapter)
+    runs this with its ``recovering`` flag set so nothing re-logs.
+    """
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise ServiceError(
+            f"unsupported checkpoint format {state.get('format')!r}")
+    if database.object_count():
+        raise ServiceError(
+            "cannot restore a checkpoint into a non-empty database")
+    for name, superclass, props in state["classes"]:
+        if database.schema.has_class(name):
+            continue  # the static schema grew to include it
+        property_defs = []
+        for prop_name, spec, target in props:
+            vml_type, _ = decode_type(spec)
+            property_defs.append(
+                PropertyDef(prop_name, vml_type, target_class=target))
+        database.create_class(name, superclass, property_defs)
+    restored = 0
+    for class_name, rows in state["objects"].items():
+        if not database.schema.has_class(class_name):
+            raise ServiceError(
+                f"checkpoint holds objects of unknown class {class_name!r} "
+                "— was the database opened with the right schema?")
+        extension = database._extensions[class_name]
+        partitioned = database.partitions.for_class(class_name)
+        for serial, values in rows:
+            oid = OID(class_name, serial)
+            # Restored objects predate every post-recovery snapshot, so
+            # timestamp 0 makes them visible to all of them.
+            obj = DatabaseObject(oid=oid, values=decode_values(values),
+                                 begin_ts=0, created_ts=0)
+            database._objects[oid] = obj
+            extension.append(oid)
+            partitioned.add(oid)
+            restored += 1
+    database.restore_oid_counters(state["allocators"])
+    database.versions.data += restored
+    database.clock.restore(state["commit_ts"])
+    for class_name, prop, kind in state["indexes"]:
+        if kind == "hash":
+            database.create_hash_index(class_name, prop)
+        elif kind == "sorted":
+            database.create_sorted_index(class_name, prop)
+        elif kind == "text":
+            database.create_text_index(class_name, prop)
+        else:  # pragma: no cover - format guard
+            raise ServiceError(f"unknown index kind {kind!r} in checkpoint")
+    for class_name in state["analyzed"]:
+        if database.schema.has_class(class_name):
+            database.analyze(class_name)

@@ -1,0 +1,198 @@
+"""The write-ahead log: framed, checksummed, append-only records.
+
+Record framing on disk is ``[4-byte big-endian payload length]
+[4-byte CRC-32 of the payload][UTF-8 JSON payload]``.  A reader walks the
+file front to back validating each frame; the first frame whose header is
+short, whose payload is truncated, or whose checksum mismatches marks the
+torn tail — everything before it is intact (appends are sequential, so a
+crash can only tear the final record) and everything from it on is
+discarded by recovery.
+
+Fsync policy decides when an append becomes durable:
+
+* ``always`` — fsync after every record (one fsync per commit scope);
+* ``interval`` — group commit: data is written and flushed to the OS on
+  every append, but fsync runs only when ``flush_interval_ms`` has passed
+  since the last one, amortizing the disk barrier over a burst of
+  commits;
+* ``never`` — leave durability to the OS page cache (fastest; a crash
+  may lose the tail even of acknowledged commits).
+
+:meth:`WriteAheadLog.flush` forces write-out (and an fsync under any
+policy but with ``fsync=True`` explicitly), which is what a clean
+connection/database close calls so acknowledged commits are never lost
+to buffering.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from typing import Any, Iterator, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["WriteAheadLog", "encode_record", "read_records", "FSYNC_POLICIES"]
+
+_HEADER = struct.Struct(">II")
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """Frame *payload* as one length-prefixed, checksummed WAL record."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def read_records(data: bytes) -> Iterator[tuple[dict[str, Any], int]]:
+    """Yield ``(payload, end_offset)`` for every intact record in *data*.
+
+    Stops silently at the first torn or corrupt frame: the byte offset of
+    the last yielded record is the length recovery truncates the log to.
+    """
+    view = memoryview(data)
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, checksum = _HEADER.unpack_from(view, offset)
+        end = offset + _HEADER.size + length
+        if end > total:
+            return  # torn tail: the final append never completed
+        body = bytes(view[offset + _HEADER.size:end])
+        if zlib.crc32(body) != checksum:
+            return  # corrupt frame (torn overwrite) — discard from here
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        yield payload, end
+        offset = end
+
+
+class WriteAheadLog:
+    """An append-only record log on one file with a configurable fsync
+    policy (see the module docstring)."""
+
+    def __init__(self, path: str, fsync: str = "interval",
+                 flush_interval_ms: float = 5.0):
+        if fsync not in FSYNC_POLICIES:
+            raise ServiceError(
+                f"unknown fsync policy {fsync!r} — expected one of "
+                f"{', '.join(FSYNC_POLICIES)}")
+        self.path = path
+        self.fsync_policy = fsync
+        self.flush_interval = max(flush_interval_ms, 0.0) / 1000.0
+        self._lock = threading.RLock()
+        self._file: Optional[io.BufferedWriter] = None
+        self._last_fsync = time.monotonic()
+        #: counters the adapter folds into its telemetry
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(self, payload: dict[str, Any]) -> tuple[int, float]:
+        """Append one record; returns ``(bytes_written, fsync_seconds)``.
+
+        The record is written and flushed to the OS unconditionally;
+        whether an fsync follows is the policy's call.  ``fsync_seconds``
+        is 0.0 when no barrier ran.
+        """
+        frame = encode_record(payload)
+        with self._lock:
+            handle = self._handle()
+            handle.write(frame)
+            handle.flush()
+            self.records_appended += 1
+            self.bytes_appended += len(frame)
+            fsync_seconds = 0.0
+            if self.fsync_policy == "always":
+                fsync_seconds = self._fsync(handle)
+            elif self.fsync_policy == "interval":
+                now = time.monotonic()
+                if now - self._last_fsync >= self.flush_interval:
+                    fsync_seconds = self._fsync(handle)
+        return len(frame), fsync_seconds
+
+    def flush(self, fsync: bool = True) -> float:
+        """Force buffered data out; returns fsync seconds (0.0 if none)."""
+        with self._lock:
+            if self._file is None:
+                return 0.0
+            self._file.flush()
+            return self._fsync(self._file) if fsync else 0.0
+
+    def _fsync(self, handle) -> float:
+        started = time.perf_counter()
+        os.fsync(handle.fileno())
+        self.fsyncs += 1
+        self._last_fsync = time.monotonic()
+        return time.perf_counter() - started
+
+    def _handle(self) -> io.BufferedWriter:
+        if self._file is None:
+            self._file = open(self.path, "ab")
+        return self._file
+
+    # ------------------------------------------------------------------
+    # reading and maintenance
+    # ------------------------------------------------------------------
+    def read_all(self) -> tuple[list[dict[str, Any]], int, int]:
+        """Every intact record plus ``(valid_length, file_length)``.
+
+        ``valid_length < file_length`` signals a torn tail the caller
+        should truncate away before appending resumes.
+        """
+        with self._lock:
+            self.flush(fsync=False)
+            try:
+                with open(self.path, "rb") as handle:
+                    data = handle.read()
+            except FileNotFoundError:
+                return [], 0, 0
+        records: list[dict[str, Any]] = []
+        valid = 0
+        for payload, end in read_records(data):
+            records.append(payload)
+            valid = end
+        return records, valid, len(data)
+
+    def truncate(self, length: int = 0) -> None:
+        """Cut the log to *length* bytes (0 = empty, after a checkpoint)."""
+        with self._lock:
+            self._close_handle()
+            with open(self.path, "ab") as handle:
+                handle.truncate(length)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def size(self) -> int:
+        """Current on-disk length in bytes (buffered data flushed first)."""
+        with self._lock:
+            self.flush(fsync=False)
+            try:
+                return os.path.getsize(self.path)
+            except FileNotFoundError:
+                return 0
+
+    def close(self) -> None:
+        """Flush, fsync and release the file handle (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self.flush(fsync=True)
+            self._close_handle()
+
+    def _close_handle(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
